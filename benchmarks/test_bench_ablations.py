@@ -1,0 +1,163 @@
+"""Ablations of MFLOW's design choices (DESIGN.md §5).
+
+Each bench isolates one design decision the paper argues for and
+measures what it buys:
+
+* micro-flow batch size (throughput and reorder effort),
+* number of splitting cores (diminishing returns),
+* early vs late merging for UDP (§III-B),
+* batch-based reassembly vs per-packet reordering (the kernel's
+  ofo-queue strawman),
+* IRQ splitting (full-path scaling) vs flow splitting only (device
+  scaling) for TCP.
+"""
+
+from conftest import run_once
+
+from repro.core.config import MflowConfig
+from repro.core.mflow import MflowPolicy
+from repro.core.reassembly import PerPacketReorderStage
+from repro.overlay.topology import DatapathKind
+from repro.workloads.scenario import Scenario
+from repro.workloads.sockperf import run_single_flow
+
+WARM = 1e6
+MEAS = 3e6
+
+
+def test_bench_ablation_batch_size(benchmark):
+    def sweep():
+        out = {}
+        for batch in (1, 16, 256):
+            res = run_single_flow(
+                "mflow", "tcp", 65536, warmup_ns=WARM, measure_ns=MEAS, batch_size=batch
+            )
+            out[batch] = res
+        return out
+
+    out = run_once(benchmark, sweep)
+    for batch, res in out.items():
+        benchmark.extra_info[f"batch{batch}_gbps"] = round(res.throughput_gbps, 2)
+        benchmark.extra_info[f"batch{batch}_reorder_events"] = res.counters.get(
+            "mflow_ooo_microflows", 0
+        )
+    # tiny batches pay heavy per-packet steering + reorder costs
+    assert out[256].throughput_gbps > 1.5 * out[1].throughput_gbps
+    # and produce orders of magnitude more reorder events
+    assert out[1].counters.get("mflow_ooo_microflows", 0) > 10 * max(
+        1, out[256].counters.get("mflow_ooo_microflows", 0)
+    )
+
+
+def test_bench_ablation_splitting_cores(benchmark):
+    def sweep():
+        return {
+            n: run_single_flow(
+                "mflow", "udp", 65536, warmup_ns=WARM, measure_ns=MEAS, n_split_cores=n
+            )
+            for n in (1, 2, 4)
+        }
+
+    out = run_once(benchmark, sweep)
+    for n, res in out.items():
+        benchmark.extra_info[f"cores{n}_gbps"] = round(res.throughput_gbps, 2)
+    # two cores buy a lot over one; four buys little over two
+    gain_1_to_2 = out[2].throughput_gbps - out[1].throughput_gbps
+    gain_2_to_4 = out[4].throughput_gbps - out[2].throughput_gbps
+    assert gain_1_to_2 > 2 * max(gain_2_to_4, 0.01)
+
+
+def _udp_mflow_scenario(config):
+    sc = Scenario(
+        DatapathKind.OVERLAY,
+        "udp",
+        lambda cpus: MflowPolicy(cpus, config, app_core=0),
+        n_receiver_cores=10,
+    )
+    for _ in range(3):
+        sc.add_udp_sender(65536)
+    return sc
+
+
+def test_bench_ablation_merge_point(benchmark):
+    """Late merging (paper default) vs merging right after the heavy device."""
+
+    def sweep():
+        late = _udp_mflow_scenario(
+            MflowConfig.device_scaling(split_cores=[2, 3], merge_before="udp_deliver")
+        ).run(warmup_ns=WARM, measure_ns=MEAS)
+        early = _udp_mflow_scenario(
+            MflowConfig.device_scaling(split_cores=[2, 3], merge_before="bridge")
+        ).run(warmup_ns=WARM, measure_ns=MEAS)
+        return late, early
+
+    late, early = run_once(benchmark, sweep)
+    benchmark.extra_info["late_merge_gbps"] = round(late.throughput_gbps, 2)
+    benchmark.extra_info["early_merge_gbps"] = round(early.throughput_gbps, 2)
+    # late merging parallelizes more of the path with the same cores
+    assert late.throughput_gbps >= 0.95 * early.throughput_gbps
+
+
+def test_bench_ablation_reassembly_vs_perpacket(benchmark):
+    """Batch-based reassembly vs the per-packet reorder strawman."""
+
+    class PerPacketPolicy(MflowPolicy):
+        def __init__(self, cpus, config, **kw):
+            super().__init__(cpus, config, **kw)
+            self.merge_stage = PerPacketReorderStage()
+            self.merge_stage.name = "mflow_merge"  # reuse placement rules
+
+    def sweep():
+        cfg = MflowConfig.full_path_tcp(batch_size=16)
+        batch_based = Scenario(
+            DatapathKind.OVERLAY,
+            "tcp",
+            lambda cpus: MflowPolicy(cpus, cfg, app_core=0),
+            n_receiver_cores=8,
+        )
+        batch_based.add_tcp_sender(65536)
+        a = batch_based.run(warmup_ns=WARM, measure_ns=MEAS)
+        cfg2 = MflowConfig.full_path_tcp(batch_size=16)
+        per_packet = Scenario(
+            DatapathKind.OVERLAY,
+            "tcp",
+            lambda cpus: PerPacketPolicy(cpus, cfg2, app_core=0),
+            n_receiver_cores=8,
+        )
+        per_packet.add_tcp_sender(65536)
+        b = per_packet.run(warmup_ns=WARM, measure_ns=MEAS)
+        return a, b
+
+    batch_res, pkt_res = run_once(benchmark, sweep)
+    benchmark.extra_info["batch_reassembly_gbps"] = round(batch_res.throughput_gbps, 2)
+    benchmark.extra_info["per_packet_reorder_gbps"] = round(pkt_res.throughput_gbps, 2)
+    # per-packet reordering pays reorder_per_pkt_ns on the merge core for
+    # every out-of-order arrival; batch reassembly must not lose to it
+    assert batch_res.throughput_gbps >= 0.95 * pkt_res.throughput_gbps
+
+
+def test_bench_ablation_irq_splitting(benchmark):
+    """Full-path scaling (IRQ splitting) vs device scaling only, for TCP.
+
+    Without IRQ splitting the per-packet skb allocation stays on one
+    core — the paper's argument for splitting at the earliest point.
+    """
+
+    def sweep():
+        full = run_single_flow("mflow", "tcp", 65536, warmup_ns=WARM, measure_ns=MEAS)
+        cfg = MflowConfig.device_scaling(
+            split_cores=[2, 3], merge_before="tcp_rcv"
+        )
+        device_only = Scenario(
+            DatapathKind.OVERLAY,
+            "tcp",
+            lambda cpus: MflowPolicy(cpus, cfg, app_core=0),
+            n_receiver_cores=8,
+        )
+        device_only.add_tcp_sender(65536)
+        return full, device_only.run(warmup_ns=WARM, measure_ns=MEAS)
+
+    full, device_only = run_once(benchmark, sweep)
+    benchmark.extra_info["full_path_gbps"] = round(full.throughput_gbps, 2)
+    benchmark.extra_info["device_scaling_gbps"] = round(device_only.throughput_gbps, 2)
+    assert full.throughput_gbps > device_only.throughput_gbps

@@ -1,0 +1,22 @@
+"""Fig. 10 — multi-flow TCP throughput."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_multiflow
+
+
+def test_bench_fig10_multiflow(benchmark):
+    res = run_once(benchmark, fig10_multiflow.run, quick=True,
+                   flow_counts=[1, 5, 10], message_sizes=[16, 65536])
+    for system in ("vanilla", "falcon", "mflow"):
+        for n in (1, 5, 10):
+            benchmark.extra_info[f"{system}_64k_{n}flows_gbps"] = round(
+                res.gbps(system, 65536, n), 1
+            )
+    # 16 B scales linearly (clients are the bottleneck)
+    assert res.gbps("mflow", 16, 5) > 4 * res.gbps("mflow", 16, 1)
+    # MFLOW leads at low flow counts; the gap narrows with contention
+    assert res.gbps("mflow", 65536, 1) > 1.3 * res.gbps("vanilla", 65536, 1)
+    lead_1 = res.gbps("mflow", 65536, 1) / res.gbps("vanilla", 65536, 1)
+    lead_10 = res.gbps("mflow", 65536, 10) / res.gbps("vanilla", 65536, 10)
+    assert lead_10 < lead_1

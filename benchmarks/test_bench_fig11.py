@@ -1,0 +1,18 @@
+"""Fig. 11 — CloudSuite Web Serving."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_webserving
+
+
+def test_bench_fig11_webserving(benchmark):
+    res = run_once(benchmark, fig11_webserving.run, quick=True, n_users=200)
+    for system, r in res.raw.items():
+        benchmark.extra_info[f"{system}_success_per_sec"] = round(
+            r.total_success_per_sec(), 0
+        )
+    van = res.raw["vanilla"]
+    mfl = res.raw["mflow"]
+    # paper: 2.3x-7.5x success rate; response times down 35-65%
+    assert mfl.total_success_per_sec() > 1.8 * van.total_success_per_sec()
+    assert mfl.mean_response_us("browse") < 0.75 * van.mean_response_us("browse")

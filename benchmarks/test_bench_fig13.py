@@ -1,0 +1,18 @@
+"""Fig. 13 — Memcached data caching latency."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_memcached
+
+
+def test_bench_fig13_memcached(benchmark):
+    res = run_once(benchmark, fig13_memcached.run, quick=True)
+    for (system, n), r in res.raw.items():
+        benchmark.extra_info[f"{system}_{n}c_p99_us"] = round(r.latency.p99_us, 1)
+    v10 = res.latency("vanilla", 10).latency
+    m10 = res.latency("mflow", 10).latency
+    f10 = res.latency("falcon", 10).latency
+    # paper: avg/p99 down ~48%/47% vs vanilla at 10 clients; at or below FALCON
+    assert m10.mean_us < 0.7 * v10.mean_us
+    assert m10.p99_us < 0.7 * v10.p99_us
+    assert m10.mean_us <= 1.05 * f10.mean_us

@@ -1,0 +1,34 @@
+"""Fig. 4 — motivation: state-of-the-art throughput + CPU utilization."""
+
+from conftest import run_once
+
+from repro.experiments import fig4_motivation
+
+
+def test_bench_fig4_motivation(benchmark):
+    res = run_once(
+        benchmark,
+        fig4_motivation.run,
+        quick=True,
+        systems=["native", "vanilla", "rps", "falcon-dev", "falcon-fun"],
+        message_sizes=[16, 65536],
+    )
+    raw = res.raw
+    for proto in ("tcp", "udp"):
+        for system in ("native", "vanilla", "rps"):
+            benchmark.extra_info[f"{proto}_{system}_64k_gbps"] = round(
+                raw[proto][system][65536].throughput_gbps, 2
+            )
+    # paper shape: overlay far below native; RPS a modest gain
+    assert raw["tcp"]["vanilla"][65536].throughput_gbps < raw["tcp"]["native"][65536].throughput_gbps
+    assert raw["udp"]["vanilla"][65536].throughput_gbps < raw["udp"]["native"][65536].throughput_gbps
+    assert raw["tcp"]["rps"][65536].throughput_gbps > raw["tcp"]["vanilla"][65536].throughput_gbps
+    # FALCON-dev helps UDP strongly, FALCON-fun is the better TCP mode
+    assert (
+        raw["udp"]["falcon-dev"][65536].throughput_gbps
+        > 1.3 * raw["udp"]["vanilla"][65536].throughput_gbps
+    )
+    assert (
+        raw["tcp"]["falcon-fun"][65536].throughput_gbps
+        > raw["tcp"]["rps"][65536].throughput_gbps
+    )

@@ -1,0 +1,18 @@
+"""Fig. 7 — out-of-order delivery vs micro-flow batch size."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_batch_size
+
+
+def test_bench_fig7_batch_size(benchmark):
+    res = run_once(benchmark, fig7_batch_size.run, quick=True,
+                   batch_sizes=[1, 16, 64, 256, 1024])
+    for batch, events in res.ooo_packets.items():
+        benchmark.extra_info[f"ooo_events_batch_{batch}"] = events
+    # paper shape: reorder effort falls steeply with batch size and is
+    # negligible by 256
+    assert res.ooo_packets[1] > 10 * max(1, res.ooo_packets[256])
+    assert res.ooo_packets[256] >= res.ooo_packets[1024]
+    # throughput suffers at batch 1 (per-packet steering overhead)
+    assert res.raw[1].throughput_gbps < res.raw[256].throughput_gbps

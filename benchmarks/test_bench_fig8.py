@@ -1,0 +1,24 @@
+"""Fig. 8 — MFLOW single-flow throughput + per-core CPU breakdown."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_throughput
+
+
+def test_bench_fig8_throughput(benchmark):
+    res = run_once(benchmark, fig8_throughput.run, quick=True,
+                   message_sizes=[16, 4096, 65536])
+    for proto in ("tcp", "udp"):
+        for system in ("native", "vanilla", "falcon", "mflow"):
+            benchmark.extra_info[f"{proto}_{system}_64k_gbps"] = round(
+                res.gbps(proto, system), 2
+            )
+    # the paper's headline shapes
+    assert res.gbps("tcp", "mflow") > res.gbps("tcp", "native")       # 29.8 vs 26.6
+    assert res.gbps("tcp", "mflow") > 1.5 * res.gbps("tcp", "vanilla")  # +81%
+    assert res.gbps("udp", "mflow") > 1.8 * res.gbps("udp", "vanilla")  # +139%
+    assert res.gbps("udp", "mflow") < res.gbps("udp", "native")       # client-bound
+    assert res.gbps("tcp", "mflow") > res.gbps("tcp", "falcon")       # +22%
+    assert res.gbps("udp", "mflow") > res.gbps("udp", "falcon")       # +21%
+    # Fig 8b: breakdown tables produced for both protocols
+    assert set(res.cpu_tables) == {"tcp", "udp"}

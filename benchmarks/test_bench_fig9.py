@@ -1,0 +1,19 @@
+"""Fig. 9 — per-message latency under pre-drop load."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_latency
+
+
+def test_bench_fig9_latency(benchmark):
+    res = run_once(benchmark, fig9_latency.run, quick=True, message_sizes=[65536])
+    for (proto, system, size), lat in res.latencies.items():
+        benchmark.extra_info[f"{proto}_{system}_p50_us"] = round(lat.p50_us, 1)
+        benchmark.extra_info[f"{proto}_{system}_p99_us"] = round(lat.p99_us, 1)
+    key = lambda s, p="tcp": res.latencies[(p, s, 65536)]
+    # paper shape: MFLOW cuts median and tail latency vs vanilla overlay
+    assert key("mflow").p50_us < key("vanilla").p50_us
+    assert key("mflow").p99_us < key("vanilla").p99_us
+    assert key("mflow").p50_us < key("falcon").p50_us
+    # UDP: same direction vs vanilla
+    assert key("mflow", "udp").p50_us < key("vanilla", "udp").p50_us

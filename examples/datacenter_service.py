@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""A containerized key-value service under increasing client pressure.
+
+Models the paper's data-caching scenario end to end: a Memcached
+container behind a Docker VxLAN overlay serving closed-loop clients,
+comparing vanilla overlay, FALCON and MFLOW as client machines scale
+from 1 to 10.  Shows the paper's qualitative result: the more the
+kernel path is stressed, the more MFLOW's packet-level parallelism
+pays, especially at the tail.
+
+Run:  python examples/datacenter_service.py
+"""
+
+from repro.workloads.memcached import SYSTEMS, run_memcached
+
+
+def main() -> None:
+    print("memcached behind a VxLAN overlay: request latency vs client pressure\n")
+    header = f"{'clients':>7}  {'system':>8}  {'krps':>7}  {'avg us':>7}  {'p99 us':>7}"
+    print(header)
+    print("-" * len(header))
+    for n_clients in (1, 4, 10):
+        baseline = None
+        for system in SYSTEMS:
+            res = run_memcached(system, n_clients)
+            if system == "vanilla":
+                baseline = res
+            tag = ""
+            if baseline is not None and system != "vanilla":
+                delta = (1 - res.latency.p99_us / baseline.latency.p99_us) * 100
+                tag = f"  (p99 {delta:.0f}% lower than vanilla)"
+            print(
+                f"{n_clients:>7}  {system:>8}  {res.requests_per_sec / 1e3:7.1f}  "
+                f"{res.latency.mean_us:7.1f}  {res.latency.p99_us:7.1f}{tag}"
+            )
+        print()
+    print("paper Fig. 13: MFLOW's benefit grows with client count; at ten clients")
+    print("it halves both average and tail latency relative to the vanilla overlay.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Elephants vs. mice: how flow mix changes what steering buys you.
+
+The paper's motivation says an elephant flow "is just equivalent to a
+bunch of mice flows" once split.  This example makes that concrete by
+comparing three workloads on the same 10-kernel-core receiver:
+
+* one elephant (a single 64 KB-message TCP flow),
+* ten mice (ten concurrent flows sharing the cores),
+* a mixed population (one elephant + nine mice under RSS hashing),
+
+under vanilla/RSS placement, FALCON, and MFLOW.
+
+Run:  python examples/elephant_vs_mice.py
+"""
+
+from repro.workloads.multiflow import MULTIFLOW_SYSTEMS, build_multiflow_scenario
+from repro.workloads.scenario import make_flow
+
+
+def run_mix(system: str, n_elephants: int, n_mice: int) -> tuple:
+    """Aggregate Gbps and per-class rates for a flow mix."""
+    n_flows = n_elephants + n_mice
+    sc = build_multiflow_scenario(system, max(n_flows, 1), 64 * 1024)
+    # rebuild the sender population: elephants at 64 KB, mice at 4 KB
+    sc._senders.clear()
+    sc._client_count = 0
+    for i in range(n_elephants):
+        sc.add_tcp_sender(64 * 1024, flow=make_flow("tcp", i))
+    for i in range(n_mice):
+        sc.add_tcp_sender(4 * 1024, flow=make_flow("tcp", 100 + i))
+    res = sc.run()
+    return res.throughput_gbps
+
+
+def main() -> None:
+    print("flow-mix comparison on 10 kernel cores (aggregate Gbps)\n")
+    mixes = [
+        ("1 elephant", 1, 0),
+        ("10 mice", 0, 10),
+        ("1 elephant + 9 mice", 1, 9),
+    ]
+    print(f"{'workload':>22} " + "".join(f"{s:>10}" for s in MULTIFLOW_SYSTEMS))
+    for label, ne, nm in mixes:
+        row = [run_mix(s, ne, nm) for s in MULTIFLOW_SYSTEMS]
+        print(f"{label:>22} " + "".join(f"{v:10.1f}" for v in row))
+    print()
+    print("reading: only MFLOW accelerates the lone elephant (packet-level")
+    print("parallelism); with many mice, inter-flow parallelism suffices and")
+    print("the schemes converge — the paper's Fig. 10 trend.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Quickstart: measure one elephant TCP flow under every steering scheme.
+
+Builds the paper's testbed — a receiver host behind a 100 GbE link,
+running a Docker-style VxLAN overlay — and pushes a single 64 KB-message
+TCP flow through it under each packet-steering policy, printing the
+Fig. 8a-style comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.workloads.sockperf import SYSTEMS, run_single_flow
+
+
+def main() -> None:
+    print("single elephant TCP flow, 64 KB messages, VxLAN overlay receive path")
+    print(f"{'system':>10}  {'Gbps':>7}  {'p50 us':>8}  {'p99 us':>8}  bottleneck core")
+    for system in SYSTEMS:
+        res = run_single_flow(system, "tcp", 64 * 1024)
+        hottest = max(range(len(res.cpu_utilization)), key=res.cpu_utilization.__getitem__)
+        print(
+            f"{system:>10}  {res.throughput_gbps:7.2f}  "
+            f"{res.latency.p50_us:8.1f}  {res.latency.p99_us:8.1f}  "
+            f"core {hottest} at {res.cpu_utilization[hottest] * 100:.0f}%"
+        )
+    print()
+    print("expected shape (paper Fig. 8a): native >> vanilla; RPS a small gain;")
+    print("FALCON a large gain; MFLOW above everything including native.")
+
+
+if __name__ == "__main__":
+    main()

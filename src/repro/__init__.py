@@ -1,0 +1,45 @@
+"""MFLOW reproduction.
+
+Reproduces *Accelerating Packet Processing in Container Overlay Networks
+via Packet-level Parallelism* (IPDPS 2023) on a discrete-event simulator
+of the Linux kernel receive path.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro.workloads.sockperf import run_single_flow
+    res = run_single_flow("mflow", "tcp", 64 * 1024)
+    print(res.throughput_gbps)
+"""
+
+from repro.core import BranchPlan, MflowConfig, MflowPolicy
+from repro.netstack.costs import CostModel, DEFAULT_COSTS
+from repro.overlay.topology import DatapathKind
+from repro.steering import (
+    FalconDevPolicy,
+    FalconFunPolicy,
+    RpsPolicy,
+    RssPolicy,
+    VanillaPolicy,
+)
+from repro.workloads.scenario import Scenario, ScenarioResult, make_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchPlan",
+    "MflowConfig",
+    "MflowPolicy",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DatapathKind",
+    "VanillaPolicy",
+    "RssPolicy",
+    "RpsPolicy",
+    "FalconDevPolicy",
+    "FalconFunPolicy",
+    "Scenario",
+    "ScenarioResult",
+    "make_flow",
+    "__version__",
+]

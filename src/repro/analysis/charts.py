@@ -1,0 +1,75 @@
+"""Dependency-free ASCII charts for experiment reports.
+
+The experiment harness prints tables; these helpers add quick visual
+shape checks (who wins, where the knee is) without any plotting
+dependency — useful in EXPERIMENTS.md and terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+
+def bar_chart(
+    data: Dict[str, float],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart, one row per labelled value."""
+    if not data:
+        raise ValueError("bar_chart needs at least one value")
+    peak = max(data.values())
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(k) for k in data)
+    lines = [title] if title else []
+    for label, value in data.items():
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label:>{label_w}} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series is a list of (x, y) points; series are drawn with
+    distinct markers in insertion order.
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ValueError("line_chart needs at least one point")
+    markers = "*o+x@%&"
+    xs = [p[0] for pts in series.values() for p in pts]
+    ys = [p[1] for pts in series.values() for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(0.0, min(ys)), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, pts) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"{y_hi:.1f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * len(f"{y_hi:.1f} ") + "┤" + "".join(row))
+    lines.append(f"{y_lo:.1f} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * len(f"{y_hi:.1f} ")
+        + "└"
+        + "─" * width
+        + f"  x: {x_lo:g}..{x_hi:g}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

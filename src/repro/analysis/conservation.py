@@ -1,0 +1,77 @@
+"""Packet-conservation accounting.
+
+A simulation step can lose packets only at explicitly-counted places:
+the NIC ring, per-core backlog limits, UDP reassembly eviction, or by
+still being in flight when the run stops.  ``check_conservation``
+reconciles a finished scenario's counters against what the senders put
+on the wire and reports any unexplained gap — the integration tests
+require the gap to be zero-ish (bounded by in-flight slack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class ConservationReport:
+    """Reconciliation of one run's wire packets."""
+
+    sent_packets: int
+    received_at_nic: int
+    ring_drops: int
+    backlog_drops: int
+    delivered_segments: int
+    in_flight_estimate: int
+
+    @property
+    def accounted(self) -> int:
+        return self.delivered_segments + self.ring_drops + self.backlog_drops
+
+    @property
+    def unaccounted(self) -> int:
+        """Packets neither delivered, dropped, nor at the NIC boundary.
+
+        These are legitimately in flight inside the pipeline (queued work,
+        GRO holds, merge buffers, OOO queues) when the run stops.
+        """
+        return self.received_at_nic - self.accounted
+
+    def ok(self, slack: int = 0) -> bool:
+        """True when every packet is accounted for, within ``slack``
+        allowed in-flight packets."""
+        if self.unaccounted < 0:
+            return False  # delivered more than arrived: double counting!
+        return self.unaccounted <= max(slack, self.in_flight_estimate)
+
+
+def check_conservation(
+    counters: Dict[str, int],
+    sent_packets: int,
+    proto: str,
+    in_flight_estimate: int = 4096,
+) -> ConservationReport:
+    """Build a :class:`ConservationReport` from scenario counters.
+
+    ``sent_packets`` is the wire-packet count the senders produced
+    (fragments, not messages).  Delivered segments come from the
+    protocol-specific counters; for UDP the receive-stage segment count
+    is used because datagram reassembly legitimately discards fragments
+    of incomplete datagrams after counting them.
+    """
+    if proto == "tcp":
+        delivered = counters.get("tcp_delivered_segments", 0)
+    elif proto == "udp":
+        delivered = counters.get("udp_rcv_segments", 0)
+    else:
+        raise ValueError(f"unknown proto {proto!r}")
+    return ConservationReport(
+        sent_packets=sent_packets,
+        received_at_nic=counters.get("nic_rx_packets", 0)
+        + counters.get("nic_ring_drops", 0),
+        ring_drops=counters.get("nic_ring_drops", 0),
+        backlog_drops=counters.get("backlog_drops", 0),
+        delivered_segments=delivered,
+        in_flight_estimate=in_flight_estimate,
+    )

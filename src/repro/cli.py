@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+::
+
+    python -m repro throughput --system mflow --proto tcp --size 65536
+    python -m repro latency    --system vanilla --proto udp
+    python -m repro multiflow  --system falcon --flows 10
+    python -m repro memcached  --system mflow --clients 10
+    python -m repro compare    --proto tcp --size 65536
+    python -m repro ceilings   --proto udp
+
+Every subcommand prints a small table; ``compare`` adds an ASCII bar
+chart; ``ceilings`` prints the closed-form bottleneck model's analytic
+upper bounds (no simulation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.bottleneck import BottleneckModel
+from repro.analysis.charts import bar_chart
+from repro.netstack.costs import DEFAULT_COSTS
+from repro.sim.units import MSEC
+from repro.workloads.memcached import run_memcached
+from repro.workloads.multiflow import run_multiflow, utilization_stddev
+from repro.workloads.sockperf import ALL_SYSTEMS, SYSTEMS, run_single_flow
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--warmup-ms", type=float, default=2.0)
+    p.add_argument("--measure-ms", type=float, default=8.0)
+
+
+def _windows(args) -> dict:
+    return {
+        "warmup_ns": args.warmup_ms * MSEC,
+        "measure_ns": args.measure_ms * MSEC,
+    }
+
+
+def cmd_throughput(args) -> int:
+    res = run_single_flow(
+        args.system, args.proto, args.size, seed=args.seed,
+        batch_size=args.batch, n_split_cores=args.split_cores, **_windows(args),
+    )
+    print(f"{args.system} {args.proto} {args.size}B: {res.throughput_gbps:.2f} Gbps")
+    print(f"  messages: {res.messages_delivered}   latency: {res.latency}")
+    print("  core utilization: " + " ".join(f"{u * 100:.0f}%" for u in res.cpu_utilization))
+    if res.drops:
+        print(f"  drops: {res.drops}")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    from repro.experiments import fig9_latency
+
+    res = fig9_latency._run_cell(args.system, args.proto, args.size, None, quick=False)
+    print(
+        f"{args.system} {args.proto} {args.size}B under ~max pre-drop load: "
+        f"p50={res.latency.p50_us:.1f}us p99={res.latency.p99_us:.1f}us "
+        f"at {res.throughput_gbps:.2f} Gbps"
+    )
+    return 0
+
+
+def cmd_multiflow(args) -> int:
+    res = run_multiflow(
+        args.system, args.flows, args.size, seed=args.seed, **_windows(args)
+    )
+    print(
+        f"{args.system} x{args.flows} flows ({args.size}B): "
+        f"{res.throughput_gbps:.2f} Gbps aggregate, "
+        f"kernel util std {utilization_stddev(res):.1f}%"
+    )
+    return 0
+
+
+def cmd_memcached(args) -> int:
+    res = run_memcached(args.system, args.clients, seed=args.seed)
+    print(
+        f"{args.system} memcached x{args.clients} clients: "
+        f"{res.requests_per_sec / 1e3:.1f} krps, "
+        f"avg {res.latency.mean_us:.1f}us, p99 {res.latency.p99_us:.1f}us"
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    data = {}
+    for system in SYSTEMS:
+        res = run_single_flow(
+            system, args.proto, args.size, seed=args.seed, **_windows(args)
+        )
+        data[system] = res.throughput_gbps
+    print(bar_chart(data, unit=" Gbps", title=f"{args.proto} {args.size}B single flow"))
+    return 0
+
+
+def cmd_ceilings(args) -> int:
+    overlay = BottleneckModel(DEFAULT_COSTS, proto=args.proto, overlay=True)
+    native = BottleneckModel(DEFAULT_COSTS, proto=args.proto, overlay=False)
+    rows = {
+        "native (1 core)": native.vanilla_ceiling(),
+        "vanilla overlay (1 core)": overlay.vanilla_ceiling(),
+        "mflow 2 branches": overlay.mflow_branch_ceiling(2),
+        "mflow 3 branches": overlay.mflow_branch_ceiling(3),
+    }
+    if args.proto == "tcp":
+        rows["falcon function-level"] = overlay.falcon_fun_ceiling()
+    print(bar_chart(rows, unit=" Gbps", title=f"analytic ceilings ({args.proto})"))
+    print("\n(closed-form upper bounds from the cost model; simulation adds queueing)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MFLOW reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("throughput", help="single-flow throughput for one system")
+    p.add_argument("--system", choices=ALL_SYSTEMS, default="mflow")
+    p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument("--split-cores", type=int, default=2)
+    _add_common(p)
+    p.set_defaults(fn=cmd_throughput)
+
+    p = sub.add_parser("latency", help="latency at ~90%% of capacity")
+    p.add_argument("--system", choices=ALL_SYSTEMS, default="mflow")
+    p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
+    p.add_argument("--size", type=int, default=65536)
+    _add_common(p)
+    p.set_defaults(fn=cmd_latency)
+
+    p = sub.add_parser("multiflow", help="aggregate throughput of N flows")
+    p.add_argument("--system", choices=["vanilla", "falcon", "mflow"], default="mflow")
+    p.add_argument("--flows", type=int, default=10)
+    p.add_argument("--size", type=int, default=65536)
+    _add_common(p)
+    p.set_defaults(fn=cmd_multiflow)
+
+    p = sub.add_parser("memcached", help="data-caching latency benchmark")
+    p.add_argument("--system", choices=["vanilla", "falcon", "mflow"], default="mflow")
+    p.add_argument("--clients", type=int, default=10)
+    _add_common(p)
+    p.set_defaults(fn=cmd_memcached)
+
+    p = sub.add_parser("compare", help="all five systems side by side")
+    p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
+    p.add_argument("--size", type=int, default=65536)
+    _add_common(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("ceilings", help="analytic bottleneck upper bounds")
+    p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
+    p.set_defaults(fn=cmd_ceilings)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

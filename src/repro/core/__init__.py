@@ -1,0 +1,31 @@
+"""MFLOW — the paper's contribution.
+
+Packet-level parallelism for a single flow: a :class:`MicroflowSplitStage`
+divides the flow's packets into fixed-size batches (*micro-flows*) and
+fans consecutive batches out to distinct *splitting cores*; downstream
+stages between the split and merge points execute on the skb's assigned
+branch core; a :class:`ReassemblyStage` restores arrival order with the
+batch-based merging-counter algorithm of §III-B before the first
+stateful stage (TCP) or user-space delivery (UDP).
+
+:class:`MflowPolicy` packages both nodes plus the core placement rules
+as a :class:`~repro.steering.base.SteeringPolicy`, with the two
+configurations evaluated in the paper available as constructors:
+:meth:`MflowConfig.full_path_tcp` (IRQ splitting, Fig. 5 right) and
+:meth:`MflowConfig.device_scaling` (flow splitting before VxLAN, Fig. 5
+left).
+"""
+
+from repro.core.config import BranchPlan, MflowConfig
+from repro.core.splitting import MicroflowSplitStage
+from repro.core.reassembly import ReassemblyStage, PerPacketReorderStage
+from repro.core.mflow import MflowPolicy
+
+__all__ = [
+    "BranchPlan",
+    "MflowConfig",
+    "MicroflowSplitStage",
+    "ReassemblyStage",
+    "PerPacketReorderStage",
+    "MflowPolicy",
+]

@@ -1,0 +1,116 @@
+"""MFLOW configuration: split/merge placement and branch core plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class BranchPlan:
+    """Core placement for one parallel branch (one micro-flow lane).
+
+    ``default_core`` executes every in-region stage unless overridden in
+    ``stage_cores`` — the override is how the paper's TCP configuration
+    pipelines each branch over *two* cores (skb alloc on one, the rest on
+    another; §V-A "we further split and pipelined the processings on two
+    cores for each parallel branch").
+    """
+
+    default_core: int
+    stage_cores: Dict[str, int] = field(default_factory=dict)
+
+    def core_for(self, stage_name: str) -> int:
+        return self.stage_cores.get(stage_name, self.default_core)
+
+
+@dataclass
+class MflowConfig:
+    """Where to split, where to merge, and which cores form the branches."""
+
+    split_before: str
+    merge_before: str
+    branches: List[BranchPlan]
+    batch_size: int = 256
+    dispatch_core: int = 1
+    merge_core: int = 0
+    post_merge_core: int = 0
+    #: advance the merging counter if the expected branch queue is empty
+    #: while this many skbs are parked in other queues (lost-micro-flow
+    #: recovery under UDP drops)
+    merge_stall_skbs: int = 0  # 0 -> auto: 4 * batch_size * n_branches
+    #: advance after this much time with no merge progress (ns)
+    merge_timeout_ns: float = 200_000.0
+    #: batch the aggregate arrival stream instead of each flow separately
+    #: (IRQ-splitting for many-connection application workloads; the
+    #: global in-order merge preserves per-flow order implicitly)
+    aggregate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not self.branches:
+            raise ValueError("MFLOW needs at least one branch")
+        if self.split_before == self.merge_before:
+            raise ValueError("split and merge points must differ")
+        if self.merge_stall_skbs == 0:
+            self.merge_stall_skbs = 4 * self.batch_size * len(self.branches)
+
+    @property
+    def n_branches(self) -> int:
+        return len(self.branches)
+
+    # ------------------------------------------------- paper configurations
+    @classmethod
+    def full_path_tcp(
+        cls,
+        alloc_cores: List[int] = (2, 3),
+        rest_cores: List[int] = (4, 5),
+        batch_size: int = 256,
+        dispatch_core: int = 1,
+    ) -> "MflowConfig":
+        """Fig. 8b TCP: IRQ splitting + per-branch two-core pipelining.
+
+        Splitting happens at the earliest software point (before skb
+        allocation, via the IRQ-splitting function) and merging right
+        before the stateful TCP layer; each branch allocates skbs on one
+        core and runs the remaining stateless stages on another.
+        """
+        if len(alloc_cores) != len(rest_cores):
+            raise ValueError("need one rest core per alloc core")
+        branches = [
+            BranchPlan(default_core=rest, stage_cores={"skb_alloc": alloc})
+            for alloc, rest in zip(alloc_cores, rest_cores)
+        ]
+        return cls(
+            split_before="skb_alloc",
+            merge_before="tcp_rcv",
+            branches=branches,
+            batch_size=batch_size,
+            dispatch_core=dispatch_core,
+        )
+
+    @classmethod
+    def device_scaling(
+        cls,
+        split_cores: List[int] = (2, 3),
+        batch_size: int = 256,
+        dispatch_core: int = 1,
+        heavy_device: str = "vxlan",
+        merge_before: str = "udp_deliver",
+    ) -> "MflowConfig":
+        """Fig. 8b UDP: flow splitting before the heavyweight device.
+
+        The flow-splitting function fans micro-flows out just before
+        VxLAN; every device after VxLAN stays on the same splitting core
+        (good locality, §III-B late merging) and micro-flows merge only
+        in ``udp_recvmsg`` before the copy to user space.
+        """
+        branches = [BranchPlan(default_core=c) for c in split_cores]
+        return cls(
+            split_before=heavy_device,
+            merge_before=merge_before,
+            branches=branches,
+            batch_size=batch_size,
+            dispatch_core=dispatch_core,
+        )

@@ -1,0 +1,11 @@
+"""Per-figure experiment harnesses.
+
+One module per table/figure in the paper's evaluation (see DESIGN.md's
+per-experiment index).  Each module exposes ``run(quick=...)`` returning
+a result object with a ``table()`` text rendering, and the package-level
+``run_all`` drives everything (``python -m repro.experiments``).
+"""
+
+from repro.experiments.base import ExperimentTable, format_table
+
+__all__ = ["ExperimentTable", "format_table"]

@@ -1,0 +1,65 @@
+"""Run every paper experiment and print its table.
+
+Usage::
+
+    python -m repro.experiments             # all figures, quick windows
+    python -m repro.experiments --full      # full measurement windows
+    python -m repro.experiments fig8 fig13  # a subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fig4_motivation,
+    fig7_batch_size,
+    fig8_throughput,
+    fig9_latency,
+    fig10_multiflow,
+    fig11_webserving,
+    fig12_cpu_balance,
+    fig13_memcached,
+    extensions,
+    sensitivity,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig4": fig4_motivation.run,
+    "fig7": fig7_batch_size.run,
+    "fig8": fig8_throughput.run,
+    "fig9": fig9_latency.run,
+    "fig10": fig10_multiflow.run,
+    "fig11": fig11_webserving.run,
+    "fig12": fig12_cpu_balance.run,
+    "fig13": fig13_memcached.run,
+    "sensitivity": sensitivity.run,
+    "extensions": extensions.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="MFLOW reproduction experiments")
+    parser.add_argument("figures", nargs="*", default=[], help="subset, e.g. fig8 fig13")
+    parser.add_argument("--full", action="store_true", help="full measurement windows")
+    args = parser.parse_args(argv)
+
+    names = args.figures or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown figures {unknown}; choose from {list(EXPERIMENTS)}")
+
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](quick=not args.full)
+        elapsed = time.time() - started
+        print(result.table())
+        print(f"[{name} done in {elapsed:.1f}s]\n", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

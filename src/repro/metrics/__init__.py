@@ -1,0 +1,7 @@
+"""Measurement infrastructure: counters, latency distributions, throughput
+windows and per-core utilization reporting."""
+
+from repro.metrics.telemetry import Telemetry
+from repro.metrics.summary import percentile, summarize_latencies, LatencySummary
+
+__all__ = ["Telemetry", "percentile", "summarize_latencies", "LatencySummary"]

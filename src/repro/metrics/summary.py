@@ -1,0 +1,48 @@
+"""Reduction of raw samples to the statistics the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile of ``samples`` (0 for an empty set)."""
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    if len(samples) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=float), pct))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The latency statistics used in Figures 9 and 13."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p99_us: float
+    max_us: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_us:.1f}us "
+            f"p50={self.p50_us:.1f}us p99={self.p99_us:.1f}us max={self.max_us:.1f}us"
+        )
+
+
+def summarize_latencies(samples_ns: Sequence[float]) -> LatencySummary:
+    """Collapse nanosecond latency samples into a microsecond summary."""
+    if len(samples_ns) == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+    arr = np.asarray(samples_ns, dtype=float) / 1_000.0
+    return LatencySummary(
+        count=len(arr),
+        mean_us=float(arr.mean()),
+        p50_us=float(np.percentile(arr, 50)),
+        p99_us=float(np.percentile(arr, 99)),
+        max_us=float(arr.max()),
+    )

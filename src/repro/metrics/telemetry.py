@@ -1,0 +1,76 @@
+"""Run-wide counters and sample collections.
+
+One :class:`Telemetry` instance is threaded through a simulation run.
+Counters are plain named integers; observations are named sample lists
+(latencies, queue depths) reduced to percentiles at reporting time.
+
+A *measurement window* separates warmup from steady state: samples and
+delivery counters recorded before :meth:`start_window` is called are
+excluded from windowed statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class Telemetry:
+    """Counters + sample streams with warmup-aware windowing."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.counters: Dict[str, int] = {}
+        self.samples: Dict[str, List[float]] = {}
+        self._window_start: Optional[float] = None
+        self._window_counters: Dict[str, int] = {}
+        self.recording = True
+
+    # ----------------------------------------------------------- counters
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------- samples
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample; dropped during warmup (before the window opens)."""
+        if self._window_start is None or not self.recording:
+            return
+        self.samples.setdefault(name, []).append(value)
+
+    def sample_list(self, name: str) -> List[float]:
+        return self.samples.get(name, [])
+
+    # -------------------------------------------------------------- window
+    def start_window(self) -> None:
+        """Open the measurement window at the current sim time."""
+        self._window_start = self.sim.now
+        self._window_counters = dict(self.counters)
+        self.samples.clear()
+
+    @property
+    def window_open(self) -> bool:
+        return self._window_start is not None
+
+    @property
+    def window_elapsed_ns(self) -> float:
+        if self._window_start is None:
+            return 0.0
+        return self.sim.now - self._window_start
+
+    def window_count(self, name: str) -> int:
+        """Counter delta since the window opened (total count if no window)."""
+        total = self.counters.get(name, 0)
+        if self._window_start is None:
+            return total
+        return total - self._window_counters.get(name, 0)
+
+    def window_rate_gbps(self, bytes_counter: str) -> float:
+        """Delivered-bytes counter over the window, as Gbps."""
+        elapsed = self.window_elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.window_count(bytes_counter) * 8.0 / elapsed

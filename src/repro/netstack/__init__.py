@@ -1,0 +1,27 @@
+"""Simulated Linux kernel network stack (receive path).
+
+Models the Fig. 1 pipeline of the paper: NIC RX ring + IRQ, NAPI driver
+poll, skb allocation, GRO, protocol layers, socket queues and the
+copy-to-user delivery thread.  The overlay devices (VxLAN, bridge, veth)
+live in :mod:`repro.overlay`; which core each stage runs on is decided by
+a :mod:`repro.steering` policy through the :class:`~repro.netstack.pipeline.Pipeline`
+dispatcher.
+"""
+
+from repro.netstack.costs import CostModel, DEFAULT_COSTS
+from repro.netstack.packet import Packet, Skb, FlowKey, MTU, MAX_SEGMENT_PAYLOAD
+from repro.netstack.pipeline import Pipeline, StageNode
+from repro.netstack.stages import Stage
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COSTS",
+    "Packet",
+    "Skb",
+    "FlowKey",
+    "MTU",
+    "MAX_SEGMENT_PAYLOAD",
+    "Pipeline",
+    "StageNode",
+    "Stage",
+]

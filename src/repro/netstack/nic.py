@@ -1,0 +1,162 @@
+"""Physical NIC model: RX descriptor rings, IRQs, and NAPI driver polls.
+
+Mirrors the mlx5 structure the paper instruments: incoming frames DMA
+into a fixed-size ring; the first frame (with interrupts enabled) raises
+a hardware IRQ on the queue's affine core; the IRQ masks itself and arms
+NAPI; the NAPI poll softirq then drains up to ``napi_budget``
+descriptors per invocation, re-polling while the ring is backlogged and
+re-enabling the IRQ once drained.
+
+The NIC is multi-queue: with several ``rss_cores`` configured it hashes
+flows across per-core RX queues exactly like hardware RSS (inter-flow
+parallelism only — every packet of one flow always lands on the same
+queue/core, which is the limitation MFLOW attacks).
+
+Each polled descriptor becomes a 1-segment :class:`Skb` injected into
+the receive pipeline — whose first stage is ``skb_alloc`` (or MFLOW's
+IRQ-split dispatch; the poll loop is a plain pipeline entry because
+splitting "relies little on a specific network device driver", §III-A).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cpu.core import Core
+from repro.cpu.softirq import Softirq
+from repro.metrics.telemetry import Telemetry
+from repro.netstack.costs import CostModel
+from repro.netstack.packet import Packet, Skb
+from repro.netstack.pipeline import Pipeline
+from repro.sim.engine import Simulator
+from repro.sim.queues import RingBuffer
+
+
+class _RxQueue:
+    """One RX descriptor ring + IRQ + NAPI context, affine to one core."""
+
+    def __init__(self, nic: "Nic", index: int, core: Core):
+        self.nic = nic
+        self.core = core
+        self.ring: RingBuffer[Packet] = RingBuffer(
+            f"{nic.name}.rxring{index}", nic.costs.rx_ring_size
+        )
+        self.irq_enabled = True
+        self.napi = Softirq(f"{nic.name}.napi{index}", self._poll)
+
+    def receive(self, pkt: Packet) -> None:
+        if not self.ring.push(pkt):
+            self.nic.telemetry.count("nic_ring_drops")
+            return
+        self.nic.telemetry.count("nic_rx_packets")
+        if self.irq_enabled:
+            self.irq_enabled = False
+            self.nic.telemetry.count("nic_irqs")
+            # The IRQ top half runs on the affine core and raises NAPI.
+            self.core.submit_call(
+                f"irq:{self.nic.name}",
+                self.nic.costs.irq_cost_ns,
+                self.napi.raise_on,
+                self.core,
+            )
+
+    def _poll(self, core: Core) -> bool:
+        batch = self.ring.pop_up_to(self.nic.costs.napi_budget)
+        if batch:
+            cost = self.nic.costs.driver_poll_per_pkt_ns * len(batch)
+            core.submit_call(f"driver_poll:{self.nic.name}", cost, self._emit, batch, core)
+        if not self.ring.empty:
+            return True  # NAPI re-polls while backlogged
+        self.irq_enabled = True
+        return False
+
+    def _emit(self, batch: List[Packet], core: Core) -> None:
+        pipeline = self.nic.pipeline
+        head = pipeline.head
+        for pkt in batch:
+            pipeline.inject(head, Skb([pkt]), core)
+        # Frames may have landed while the poll work executed; NAPI keeps
+        # polling rather than waiting for a fresh IRQ.
+        if not self.ring.empty:
+            self.napi.raise_on(core)
+        else:
+            self.irq_enabled = True
+
+
+class Nic:
+    """The receive-side physical NIC of one host (multi-queue capable)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel,
+        irq_core: Core,
+        pipeline: Pipeline,
+        telemetry: Telemetry,
+        name: str = "pnic",
+        rss_cores: Optional[List[Core]] = None,
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.pipeline = pipeline
+        self.telemetry = telemetry
+        self.name = name
+        cores = rss_cores if rss_cores else [irq_core]
+        self._queues = [_RxQueue(self, i, core) for i, core in enumerate(cores)]
+        self._queue_by_core = {q.core.id: q for q in self._queues}
+        self._wire_seq = 0
+
+    @property
+    def n_queues(self) -> int:
+        return len(self._queues)
+
+    def queue_for(self, pkt: Packet) -> _RxQueue:
+        if len(self._queues) == 1:
+            return self._queues[0]
+        # Align RSS with the steering policy's per-flow placement when it
+        # provides one (tuned IRQ affinity); otherwise hash like hardware.
+        policy = self.pipeline.policy
+        core_idx = policy.nic_queue_core_idx(pkt.flow)
+        if core_idx is not None:
+            queue = self._queue_by_core.get(core_idx)
+            if queue is not None:
+                return queue
+        from repro.steering.base import stable_flow_hash
+
+        return self._queues[stable_flow_hash(pkt.flow) % len(self._queues)]
+
+    def receive(self, pkt: Packet) -> None:
+        """A frame arrives from the wire (DMA into its queue's ring)."""
+        pkt.arrival_ts = self.sim.now
+        pkt.wire_seq = self._wire_seq
+        self._wire_seq += 1
+        self.queue_for(pkt).receive(pkt)
+
+    def ring_drops(self) -> int:
+        return sum(q.ring.drops for q in self._queues)
+
+
+class Wire:
+    """A full-duplex point-to-point link feeding a NIC.
+
+    Models serialization at line rate plus fixed propagation delay.  The
+    100 Gbps default never binds in the paper's experiments (the CPU
+    does), but keeping it honest lets the link become the bottleneck in
+    ablation configurations.
+    """
+
+    def __init__(self, sim: Simulator, costs: CostModel, dst: Nic):
+        self.sim = sim
+        self.costs = costs
+        self.dst = dst
+        self._next_free_ns = 0.0
+        self.bytes_carried = 0
+
+    def send(self, pkt: Packet) -> None:
+        """Transmit one frame towards the destination NIC."""
+        ser_ns = pkt.wire_bytes * 8.0 / self.costs.link_gbps
+        start = max(self.sim.now, self._next_free_ns)
+        self._next_free_ns = start + ser_ns
+        self.bytes_carried += pkt.wire_bytes
+        arrival = self._next_free_ns + self.costs.wire_delay_ns
+        self.sim.call_at(arrival, self.dst.receive, pkt)

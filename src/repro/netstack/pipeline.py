@@ -1,0 +1,159 @@
+"""The stage graph and its steering-aware dispatcher.
+
+A receive datapath is a linked list of :class:`StageNode` s (built by
+:mod:`repro.overlay.topology`).  The :class:`Pipeline` moves skbs from
+node to node: for each hop it asks the steering policy which core should
+execute the stage, charges the stage cost (plus a handoff penalty when
+the skb crosses cores) as a work item on that core, runs the stage's
+logic on completion, and forwards the outputs.
+
+This is where every scheme in the paper plugs in: vanilla/RSS/RPS/FALCON
+differ only in the ``core_for`` answer; MFLOW additionally inserts split
+and merge nodes into the graph (see :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.cpu.core import Core
+from repro.metrics.telemetry import Telemetry
+from repro.netstack.costs import CostModel
+from repro.netstack.packet import Skb
+from repro.netstack.stages import Stage, StageContext
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.steering.base import SteeringPolicy
+
+
+class StageNode:
+    """One position in the datapath: a stage plus its successor."""
+
+    __slots__ = ("stage", "next")
+
+    def __init__(self, stage: Stage, next_node: Optional["StageNode"] = None):
+        self.stage = stage
+        self.next = next_node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nxt = self.next.stage.name if self.next else None
+        return f"<StageNode {self.stage.name} -> {nxt}>"
+
+
+def link_nodes(stages: List[Stage]) -> StageNode:
+    """Wire stages into a chain and return the head node."""
+    if not stages:
+        raise ValueError("datapath needs at least one stage")
+    nodes = [StageNode(s) for s in stages]
+    for a, b in zip(nodes, nodes[1:]):
+        a.next = b
+    return nodes[0]
+
+
+class Pipeline:
+    """Dispatches skbs through a stage graph under a steering policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel,
+        policy: "SteeringPolicy",
+        telemetry: Telemetry,
+    ):
+        self.sim = sim
+        self.costs = costs
+        self.policy = policy
+        self.telemetry = telemetry
+        self.head: Optional[StageNode] = None
+        #: queue-overflow drops, per stage name
+        self.drops: Dict[str, int] = {}
+
+    def set_head(self, head: StageNode) -> None:
+        self.head = head
+
+    # ------------------------------------------------------------- dispatch
+    def inject(
+        self,
+        node: Optional[StageNode],
+        skb: Skb,
+        from_core: Optional[Core],
+        front: bool = False,
+    ) -> None:
+        """Hand ``skb`` to ``node`` (no-op sink when node is None).
+
+        ``front=True`` marks a run-to-completion continuation: when the
+        target core is the one the skb is already on, the next stage runs
+        immediately (head of the run queue) instead of re-queueing behind
+        other packets — matching real softirq semantics, where one packet
+        walks all of a core's stages before the next packet is picked up.
+        """
+        if node is None:
+            return
+        stage = node.stage
+        core = self.policy.core_for(stage.name, skb, from_core)
+        cost = stage.cost(skb, self.costs)
+        if from_core is not None and core.id != from_core.id:
+            # Crossing cores costs both sides: the sender pays the steering
+            # dispatch (hash + enqueue + IPI arming), the receiver pays the
+            # queue pull + cold-cache penalty.
+            cost += self.costs.handoff_cost_ns
+            from_core.submit_call("steer_dispatch", self.costs.steer_dispatch_ns, _noop)
+            self.telemetry.count("handoffs")
+            front = False
+        # Overload protection: model bounded per-core backlogs by dropping
+        # when the target core's run queue is past the configured limit.
+        # Drop-eligible stages only (TCP is window-limited and never drops).
+        if stage.droppable and core.queue_depth >= self.costs.backlog_limit:
+            self.drops[stage.name] = self.drops.get(stage.name, 0) + 1
+            self.telemetry.count("backlog_drops")
+            self.telemetry.count(f"drops:{stage.name}")
+            return
+        if front:
+            core.submit_front_call(stage.name, cost, self._run_stage, node, skb, core)
+        else:
+            core.submit_call(stage.name, cost, self._run_stage, node, skb, core)
+
+    def _run_stage(self, node: StageNode, skb: Skb, core: Core) -> None:
+        ctx = StageContext(self, node, core)
+        outputs = node.stage.process(skb, ctx)
+        if not outputs or node.next is None:
+            return
+        nxt = node.next
+        # Cross-core outputs go to their targets' FIFO queues in order;
+        # same-core outputs become run-to-completion continuations, which
+        # stack LIFO at the queue head, so they are submitted in reverse
+        # to preserve packet order.
+        same = []
+        for out in outputs:
+            target = self.policy.core_for(nxt.stage.name, out, core)
+            if target.id == core.id:
+                same.append(out)
+            else:
+                self.inject(nxt, out, core)
+        for out in reversed(same):
+            self.inject(nxt, out, core, front=True)
+
+    # ------------------------------------------------------------ inspection
+    def stage_names(self) -> List[str]:
+        names = []
+        node = self.head
+        while node is not None:
+            names.append(node.stage.name)
+            node = node.next
+        return names
+
+    def total_drops(self) -> int:
+        return sum(self.drops.values())
+
+    def find_node(self, stage_name: str) -> StageNode:
+        node = self.head
+        while node is not None:
+            if node.stage.name == stage_name:
+                return node
+            node = node.next
+        raise KeyError(f"no stage named {stage_name!r} in pipeline")
+
+
+def _noop() -> None:
+    return None

@@ -1,0 +1,13 @@
+"""Transport-layer endpoints: TCP (stateful, ordered) and UDP (datagram)."""
+
+from repro.netstack.protocol.tcp import TcpReceiverStage, TcpDeliverStage, TcpSender
+from repro.netstack.protocol.udp import UdpReceiverStage, UdpDeliverStage, UdpSender
+
+__all__ = [
+    "TcpReceiverStage",
+    "TcpDeliverStage",
+    "TcpSender",
+    "UdpReceiverStage",
+    "UdpDeliverStage",
+    "UdpSender",
+]

@@ -1,0 +1,295 @@
+"""TCP endpoints.
+
+The receive side is the stateful stage the paper's whole design revolves
+around: packets MUST enter it in order.  Segments arriving above
+``rcv_nxt`` go to a per-flow out-of-order queue at a significant extra
+cost (the kernel's ofo-queue handling) and are only released once the
+gap fills — which is exactly why naive per-packet steering is a loss and
+why MFLOW merges micro-flows *before* this stage.
+
+The sender is window-limited (ACK-clocked) and CPU-limited: each
+``sendmsg`` costs syscall time on the client's application core and each
+segment costs transmit-path time on the client's kernel core (plus VxLAN
+encapsulation on overlay paths).  This makes the client the bottleneck
+for small messages, reproducing the paper's 16 B observations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cpu.core import Core
+from repro.metrics.telemetry import Telemetry
+from repro.netstack.costs import CostModel
+from repro.netstack.packet import FlowKey, Packet, Skb, fragment_message
+from repro.netstack.stages import Stage, StageContext
+from repro.sim.engine import Simulator
+
+
+class _TcpFlowState:
+    """Per-flow receiver state: next expected byte and the OOO queue."""
+
+    __slots__ = ("rcv_nxt", "ooo", "dup_segments", "ooo_segments")
+
+    def __init__(self) -> None:
+        self.rcv_nxt = 0
+        self.ooo: Dict[int, Skb] = {}  # start-seq -> skb
+        self.dup_segments = 0
+        self.ooo_segments = 0
+
+
+class TcpReceiverStage(Stage):
+    """In-order TCP receive processing + cumulative ACK generation.
+
+    Forwards in-order skbs (possibly draining the OOO queue behind them)
+    to the delivery stage.  Not droppable: the sender window bounds the
+    number of TCP segments in flight, so backlogs can't grow unboundedly.
+    """
+
+    name = "tcp_rcv"
+    droppable = False
+
+    def __init__(self, ack_fn: Optional[Callable[[FlowKey, int], None]] = None):
+        self._flows: Dict[FlowKey, _TcpFlowState] = {}
+        self._ack_fn = ack_fn
+        self.total_ooo_events = 0
+
+    def set_ack_fn(self, fn: Callable[[FlowKey, int], None]) -> None:
+        self._ack_fn = fn
+
+    def flow_state(self, flow: FlowKey) -> _TcpFlowState:
+        st = self._flows.get(flow)
+        if st is None:
+            st = self._flows[flow] = _TcpFlowState()
+        return st
+
+    def cost(self, skb: Skb, costs: CostModel) -> float:
+        return costs.tcp_rcv_ns
+
+    def process(self, skb: Skb, ctx: StageContext) -> List[Skb]:
+        st = self.flow_state(skb.flow)
+        out: List[Skb] = []
+        if skb.seq == st.rcv_nxt:
+            st.rcv_nxt = skb.end_seq
+            out.append(skb)
+            # drain any queued continuation
+            while st.rcv_nxt in st.ooo:
+                queued = st.ooo.pop(st.rcv_nxt)
+                st.rcv_nxt = queued.end_seq
+                out.append(queued)
+        elif skb.seq > st.rcv_nxt:
+            # out-of-order: park in the ofo queue, charge the kernel's
+            # per-segment reordering penalty on this core
+            st.ooo[skb.seq] = skb
+            st.ooo_segments += skb.segs
+            self.total_ooo_events += 1
+            ctx.telemetry.count("tcp_ooo_segments", skb.segs)
+            ctx.core.submit_call(
+                "tcp_ooo", ctx.costs.tcp_ooo_penalty_ns * skb.segs, _noop
+            )
+        else:
+            st.dup_segments += skb.segs
+            ctx.telemetry.count("tcp_dup_segments", skb.segs)
+        if out and self._ack_fn is not None:
+            self._ack_fn(skb.flow, st.rcv_nxt)
+        return out
+
+
+class TcpDeliverStage(Stage):
+    """tcp_recvmsg: copy to the user buffer on the application core.
+
+    Terminal stage; counts delivered bytes/messages and records message
+    latency when the last byte of a message is copied.  Application
+    workloads can register ``on_message`` to be told when a complete
+    message reaches user space (the recv() returning, in effect).
+    """
+
+    name = "tcp_deliver"
+    droppable = False
+
+    def __init__(self, on_message: Optional[Callable[[FlowKey, Packet], None]] = None):
+        self._on_message = on_message
+
+    def set_message_callback(self, fn: Callable[[FlowKey, Packet], None]) -> None:
+        self._on_message = fn
+
+    def cost(self, skb: Skb, costs: CostModel) -> float:
+        return costs.copy_per_skb_ns + skb.payload_bytes * costs.copy_per_byte_ns
+
+    def process(self, skb: Skb, ctx: StageContext) -> List[Skb]:
+        tele = ctx.telemetry
+        tele.count("tcp_delivered_bytes", skb.payload_bytes)
+        tele.count("tcp_delivered_segments", skb.segs)
+        now = ctx.sim.now
+        for pkt in skb.packets:
+            if pkt.messages_completed:
+                tele.count("tcp_delivered_messages", pkt.messages_completed)
+                tele.observe("tcp_msg_latency_ns", now - pkt.send_ts)
+                if self._on_message is not None:
+                    self._on_message(skb.flow, pkt)
+        return []
+
+
+class TcpSender:
+    """A windowed, CPU-limited TCP sender on the client machine.
+
+    Runs in *throughput mode* (infinite message backlog) by default, or
+    on-demand via :meth:`send_message` for request/response workloads.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        costs: CostModel,
+        flow: FlowKey,
+        message_size: int,
+        wire,
+        app_core: Core,
+        kernel_core: Core,
+        telemetry: Telemetry,
+        encap: bool = False,
+        window_bytes: Optional[int] = None,
+        continuous: bool = True,
+        interval_ns: Optional[float] = None,
+    ):
+        if message_size <= 0:
+            raise ValueError(f"message size must be positive, got {message_size}")
+        self.sim = sim
+        self.costs = costs
+        self.flow = flow
+        self.message_size = message_size
+        self.wire = wire
+        self.app_core = app_core
+        self.kernel_core = kernel_core
+        self.telemetry = telemetry
+        self.encap = encap
+        self.window_bytes = window_bytes if window_bytes is not None else 1024 * 1448
+        self.continuous = continuous
+        self.interval_ns = interval_ns
+        self.next_seq = 0
+        self.acked_seq = 0
+        self.next_msg_id = 0
+        self.messages_sent = 0
+        self._sending = False
+        self._pending_requests: List[tuple] = []  # (size, on_sent) for demand mode
+        self._pace_next_ns = 0.0  # token-bucket pacer (fq/TSQ-style)
+        self._send_start_ns = 0.0
+
+    # ----------------------------------------------------------------- API
+    def start(self) -> None:
+        """Begin continuous transmission (throughput mode)."""
+        if not self.continuous:
+            raise RuntimeError("start() is only valid in continuous mode")
+        self._pump()
+
+    def send_message(self, size: Optional[int] = None, on_sent: Optional[Callable] = None) -> None:
+        """Queue one message for transmission (request/response mode)."""
+        self._pending_requests.append((size or self.message_size, on_sent))
+        self._pump()
+
+    def on_ack(self, flow: FlowKey, ack_seq: int) -> None:
+        """Cumulative ACK from the receiver (invoked after wire delay)."""
+        if ack_seq > self.acked_seq:
+            self.acked_seq = ack_seq
+        self._pump()
+
+    @property
+    def outstanding_bytes(self) -> int:
+        return self.next_seq - self.acked_seq
+
+    # ------------------------------------------------------------ internals
+    def _next_message(self) -> Optional[tuple]:
+        if self._pending_requests:
+            return self._pending_requests.pop(0)
+        if self.continuous:
+            return (self.message_size, None)
+        return None
+
+    def _pump(self) -> None:
+        if self._sending:
+            return
+        nxt = self._peek_size()
+        if nxt is None:
+            return
+        # Nagle/autocork: in continuous throughput mode, sub-MSS messages
+        # coalesce into one MSS-sized segment (sockperf TCP at 16 B is
+        # bound by per-message syscalls on the client, not the receiver —
+        # paper §V-A).
+        from repro.netstack.packet import MAX_SEGMENT_PAYLOAD
+
+        batch = 1
+        if self.continuous and not self._pending_requests and nxt < MAX_SEGMENT_PAYLOAD:
+            batch = max(1, MAX_SEGMENT_PAYLOAD // nxt)
+        total = nxt * batch
+        if self.outstanding_bytes + total > self.window_bytes:
+            return
+        msg = self._next_message()
+        assert msg is not None
+        size, on_sent = msg
+        self._sending = True
+        self._send_start_ns = self.sim.now
+        self.app_core.submit_call(
+            "send_syscall",
+            self.costs.send_syscall_ns * batch,
+            self._segment,
+            size * batch,
+            on_sent,
+            batch,
+        )
+
+    def _peek_size(self) -> Optional[int]:
+        if self._pending_requests:
+            return self._pending_requests[0][0]
+        if self.continuous:
+            return self.message_size
+        return None
+
+    def _segment(self, size: int, on_sent: Optional[Callable], batch: int = 1) -> None:
+        frags = fragment_message(
+            self.flow, self.next_msg_id, size, start_seq=self.next_seq, encap=self.encap
+        )
+        if batch > 1:
+            # coalesced sub-MSS messages: the (single) segment completes
+            # `batch` application messages at once
+            frags[-1].messages_completed = batch
+        self.next_msg_id += 1
+        self.next_seq += size
+        per_seg = self.costs.send_per_seg_tcp_ns + (
+            self.costs.send_encap_per_seg_ns if self.encap else 0.0
+        )
+        self.kernel_core.submit_call(
+            "send_xmit", per_seg * len(frags), self._transmit, frags, on_sent, batch
+        )
+
+    def _transmit(self, frags: List[Packet], on_sent: Optional[Callable], batch: int = 1) -> None:
+        now = self.sim.now
+        gap_per_byte = 8.0 / self.costs.tcp_pacing_gbps
+        t = max(now, self._pace_next_ns)
+        for pkt in frags:
+            pkt.send_ts = now
+            if t <= now:
+                self.wire.send(pkt)
+            else:
+                self.sim.call_at(t, self.wire.send, pkt)
+            t += pkt.wire_bytes * gap_per_byte
+        self._pace_next_ns = t
+        self.messages_sent += batch
+        self.telemetry.count("tcp_messages_sent", batch)
+        if on_sent is not None:
+            on_sent()
+        if self.interval_ns is not None:
+            # rate-limited mode (latency measurements below saturation);
+            # the interval is measured from send start
+            elapsed = self.sim.now - self._send_start_ns
+            self.sim.call_in(max(0.0, self.interval_ns - elapsed), self._unblock)
+        else:
+            self._sending = False
+            self._pump()
+
+    def _unblock(self) -> None:
+        self._sending = False
+        self._pump()
+
+
+def _noop() -> None:
+    return None

@@ -1,0 +1,27 @@
+"""Container overlay network construction.
+
+Provides the software network devices of a Docker/VxLAN overlay (VxLAN
+tunnel endpoint, learning bridge, veth pair) and datapath builders that
+assemble them into the receive pipelines of Figures 1 and 2.
+"""
+
+from repro.overlay.devices import (
+    BridgeStage,
+    OuterUdpDemuxStage,
+    VethRxStage,
+    VethXmitStage,
+    VxlanDecapStage,
+)
+from repro.overlay.namespace import ContainerNamespace
+from repro.overlay.topology import build_datapath_stages, DatapathKind
+
+__all__ = [
+    "VxlanDecapStage",
+    "BridgeStage",
+    "VethXmitStage",
+    "VethRxStage",
+    "OuterUdpDemuxStage",
+    "ContainerNamespace",
+    "build_datapath_stages",
+    "DatapathKind",
+]

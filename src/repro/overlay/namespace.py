@@ -1,0 +1,60 @@
+"""Container network namespaces (bookkeeping model).
+
+The simulator does not need kernel namespaces to reproduce the paper's
+behaviour — the datapath length does that — but application experiments
+(web serving, memcached) address services by container, so this module
+provides the naming/addressing layer: a namespace owns a private IP and
+a veth endpoint, and an :class:`OverlayNetwork` allocates addresses and
+resolves container names to flow endpoints, like Docker's overlay
+network driver does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class ContainerNamespace:
+    """One container's network identity on an overlay network."""
+
+    def __init__(self, name: str, private_ip: int, host: Optional[object] = None):
+        self.name = name
+        self.private_ip = private_ip
+        self.host = host
+        self._next_port = 40000
+
+    def ephemeral_port(self) -> int:
+        """Allocate a client-side port (monotonic, per-namespace)."""
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ContainerNamespace {self.name} ip={self.private_ip}>"
+
+
+class OverlayNetwork:
+    """A named overlay network allocating private IPs to containers."""
+
+    def __init__(self, name: str = "overlay0", subnet_base: int = 10 << 24):
+        self.name = name
+        self._subnet_base = subnet_base
+        self._next_ip = 2  # .0 network, .1 gateway
+        self.containers: Dict[str, ContainerNamespace] = {}
+
+    def attach(self, container_name: str, host: Optional[object] = None) -> ContainerNamespace:
+        """Create a namespace for ``container_name`` with a fresh private IP."""
+        if container_name in self.containers:
+            raise ValueError(f"container {container_name!r} already attached")
+        ns = ContainerNamespace(container_name, self._subnet_base + self._next_ip, host)
+        self._next_ip += 1
+        self.containers[container_name] = ns
+        return ns
+
+    def lookup(self, container_name: str) -> ContainerNamespace:
+        try:
+            return self.containers[container_name]
+        except KeyError:
+            raise KeyError(
+                f"container {container_name!r} not on network {self.name!r}"
+            ) from None

@@ -1,0 +1,82 @@
+"""Receive-datapath construction: native vs container overlay.
+
+``build_datapath_stages`` returns the ordered stage list for one host's
+receive pipeline.  The native path is the paper's Fig. 1; the overlay
+path is Fig. 2 — the same stack entered twice with the three software
+devices in between:
+
+native:  skb_alloc → gro → ip_rcv → {tcp_rcv → tcp_deliver | udp_rcv → udp_deliver}
+overlay: skb_alloc → gro → ip_outer → udp_outer → vxlan → bridge
+         → veth_xmit → veth_rx → ip_inner → {tcp | udp} …
+
+(The NIC's driver-poll stage lives in :class:`repro.netstack.nic.Nic`
+and feeds the head of this list; steering policies and MFLOW's
+split/merge nodes are applied on top by :mod:`repro.steering`.)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.netstack.protocol.tcp import TcpDeliverStage, TcpReceiverStage
+from repro.netstack.protocol.udp import UdpDeliverStage, UdpReceiverStage
+from repro.netstack.stages import GroStage, IpRcvStage, SkbAllocStage, Stage
+from repro.overlay.devices import (
+    BridgeStage,
+    OuterUdpDemuxStage,
+    VethRxStage,
+    VethXmitStage,
+    VxlanDecapStage,
+)
+
+
+class DatapathKind(enum.Enum):
+    """Which receive path a host runs."""
+
+    NATIVE = "native"
+    OVERLAY = "overlay"
+
+
+def build_datapath_stages(
+    kind: DatapathKind,
+    proto: str,
+    tcp_receiver: Optional[TcpReceiverStage] = None,
+    udp_deliver: Optional[UdpDeliverStage] = None,
+    tcp_deliver: Optional[TcpDeliverStage] = None,
+) -> List[Stage]:
+    """Build the ordered receive stages for one host.
+
+    ``tcp_receiver`` may be passed in so the caller keeps a handle for
+    wiring ACK callbacks; likewise ``udp_deliver`` for inspecting
+    reassembly state and ``tcp_deliver`` for message callbacks.  Fresh
+    instances are created when omitted.
+    """
+    if proto not in ("tcp", "udp"):
+        raise ValueError(f"proto must be 'tcp' or 'udp', got {proto!r}")
+
+    stages: List[Stage] = [SkbAllocStage(), GroStage()]
+    if kind is DatapathKind.NATIVE:
+        stages.append(IpRcvStage("ip_rcv", "ip_rcv_ns"))
+    elif kind is DatapathKind.OVERLAY:
+        stages.extend(
+            [
+                IpRcvStage("ip_outer", "ip_rcv_ns"),
+                OuterUdpDemuxStage(),
+                VxlanDecapStage(),
+                BridgeStage(),
+                VethXmitStage(),
+                VethRxStage(),
+                IpRcvStage("ip_inner", "ip_rcv_inner_ns"),
+            ]
+        )
+    else:  # pragma: no cover - enum is closed
+        raise ValueError(f"unknown datapath kind {kind!r}")
+
+    if proto == "tcp":
+        stages.append(tcp_receiver if tcp_receiver is not None else TcpReceiverStage())
+        stages.append(tcp_deliver if tcp_deliver is not None else TcpDeliverStage())
+    else:
+        stages.append(UdpReceiverStage())
+        stages.append(udp_deliver if udp_deliver is not None else UdpDeliverStage())
+    return stages

@@ -1,0 +1,50 @@
+"""Discrete-event simulation substrate.
+
+Everything in this reproduction runs on the :class:`~repro.sim.engine.Simulator`:
+a classic event-heap discrete-event engine with simulated time in nanoseconds.
+Two programming styles are supported and freely mixed:
+
+* **callback style** — ``sim.call_in(delay_ns, fn, *args)``; used by the
+  packet-processing pipeline where millions of small events must be cheap.
+* **process style** — Python generators wrapped by
+  :class:`~repro.sim.process.Process` that ``yield`` :class:`Timeout` /
+  :class:`WaitEvent` / queue operations; used by workload generators and
+  application models where sequential logic reads better.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Timeout, WaitEvent, SimEvent
+from repro.sim.queues import FifoQueue, RingBuffer, QueueFullError
+from repro.sim.rng import RngStreams
+from repro.sim.units import (
+    GBPS,
+    KIB,
+    MIB,
+    MSEC,
+    SEC,
+    USEC,
+    bits_to_bytes,
+    gbps,
+    ns_per_byte_at_gbps,
+)
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "WaitEvent",
+    "SimEvent",
+    "FifoQueue",
+    "RingBuffer",
+    "QueueFullError",
+    "RngStreams",
+    "GBPS",
+    "KIB",
+    "MIB",
+    "MSEC",
+    "SEC",
+    "USEC",
+    "bits_to_bytes",
+    "gbps",
+    "ns_per_byte_at_gbps",
+]

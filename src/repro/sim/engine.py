@@ -1,0 +1,132 @@
+"""The discrete-event engine.
+
+A single :class:`Simulator` instance owns the virtual clock and an event
+heap.  Events are ``(time, seq, callback, args)`` tuples; ``seq`` is a
+monotone tiebreaker so same-timestamp events fire in schedule order, which
+keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine operations (e.g. scheduling in the past)."""
+
+
+class _Event:
+    """A cancellable scheduled callback (returned by :meth:`Simulator.call_in`)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "_Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq} {self.fn!r}{state}>"
+
+
+class Simulator:
+    """Event-heap discrete-event simulator with a nanosecond clock."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[_Event] = []
+        self._seq: int = 0
+        self._running = False
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # ------------------------------------------------------------- scheduling
+    def call_in(self, delay_ns: float, fn: Callable[..., Any], *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns} ns in the past")
+        return self.call_at(self._now + delay_ns, fn, *args)
+
+    def call_at(self, time_ns: float, fn: Callable[..., Any], *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} (now={self._now})"
+            )
+        ev = _Event(time_ns, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> _Event:
+        """Schedule ``fn(*args)`` at the current time (after pending same-time events)."""
+        return self.call_at(self._now, fn, *args)
+
+    # ---------------------------------------------------------------- running
+    def run(self, until_ns: Optional[float] = None) -> None:
+        """Execute events until the heap is empty or the clock passes ``until_ns``.
+
+        When ``until_ns`` is given, the clock is left exactly at ``until_ns``
+        (events scheduled later stay on the heap), matching the convention of
+        measurement windows: ``sim.run(until_ns=window_end)``.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            while heap:
+                ev = heap[0]
+                if until_ns is not None and ev.time > until_ns:
+                    break
+                heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                self._now = ev.time
+                self.events_executed += 1
+                ev.fn(*ev.args)
+            if until_ns is not None and self._now < until_ns:
+                self._now = until_ns
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns False when no events remain."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self.events_executed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the heap is drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)

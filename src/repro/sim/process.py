@@ -1,0 +1,132 @@
+"""Generator-based simulated processes.
+
+A process is a Python generator that yields *wait descriptors*:
+
+* :class:`Timeout` — resume after a simulated delay;
+* :class:`SimEvent` / :class:`WaitEvent` — resume when another actor
+  triggers the event (optionally carrying a value);
+* another :class:`Process` — resume when that process terminates.
+
+Workload generators (sockperf clients, web-serving users, memcached
+clients) are written in this style; the hot packet path uses plain
+callbacks on the engine instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+
+class Timeout:
+    """Wait descriptor: resume the process after ``delay_ns``."""
+
+    __slots__ = ("delay_ns",)
+
+    def __init__(self, delay_ns: float):
+        if delay_ns < 0:
+            raise ValueError(f"negative timeout: {delay_ns}")
+        self.delay_ns = delay_ns
+
+
+class SimEvent:
+    """A one-shot level-triggered event that processes can wait on.
+
+    ``trigger(value)`` wakes every waiter; waiting on an already-triggered
+    event resumes immediately with the stored value.
+    """
+
+    __slots__ = ("sim", "_triggered", "_value", "_waiters")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: List[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming all waiters at the current sim time."""
+        if self._triggered:
+            raise RuntimeError("SimEvent may only be triggered once")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.sim.call_soon(cb, value)
+
+    def _subscribe(self, cb: Callable[[Any], None]) -> None:
+        if self._triggered:
+            self.sim.call_soon(cb, self._value)
+        else:
+            self._waiters.append(cb)
+
+
+#: Alias kept for readability at yield sites: ``yield WaitEvent(ev)`` reads
+#: better than yielding the event object itself, but both are accepted.
+class WaitEvent:
+    __slots__ = ("event",)
+
+    def __init__(self, event: SimEvent):
+        self.event = event
+
+
+class Process:
+    """Drives a generator as a simulated process.
+
+    The generator receives the value of whatever it waited on via ``send``.
+    When the generator returns, the process's :attr:`done` event triggers
+    with the generator's return value.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "proc"):
+        self.sim = sim
+        self.name = name
+        self._gen = gen
+        self.done = SimEvent(sim)
+        self._failed: Optional[BaseException] = None
+        sim.call_soon(self._resume, None)
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def _resume(self, value: Any) -> None:
+        if self.done.triggered:
+            return
+        try:
+            wait = self._gen.send(value)
+        except StopIteration as stop:
+            self.done.trigger(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            self._failed = exc
+            raise
+        self._wait_on(wait)
+
+    def _wait_on(self, wait: Any) -> None:
+        if isinstance(wait, Timeout):
+            self.sim.call_in(wait.delay_ns, self._resume, None)
+        elif isinstance(wait, SimEvent):
+            wait._subscribe(self._resume)
+        elif isinstance(wait, WaitEvent):
+            wait.event._subscribe(self._resume)
+        elif isinstance(wait, Process):
+            wait.done._subscribe(self._resume)
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported wait {wait!r}"
+            )
+
+
+def spawn(sim: Simulator, gen: Generator, name: str = "proc") -> Process:
+    """Convenience wrapper: start ``gen`` as a process on ``sim``."""
+    return Process(sim, gen, name=name)

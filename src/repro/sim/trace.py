@@ -1,0 +1,127 @@
+"""Per-packet path tracing.
+
+Wraps a :class:`~repro.netstack.pipeline.Pipeline` to record, for a
+sample of skbs, the timestamp and core at every stage hop — the tool for
+answering "where does the time go?" questions (it found two real
+modeling bugs during this reproduction: per-stage queue inflation and
+merge-boundary stalls).
+
+Usage::
+
+    tracer = PathTracer(pipeline, sim, max_traces=1000, start_ns=2e6)
+    tracer.install()
+    ... run ...
+    print(tracer.hop_report())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+class HopStat:
+    """Latency statistics for one stage→stage hop."""
+
+    __slots__ = ("src", "dst", "samples_ns")
+
+    def __init__(self, src: str, dst: str):
+        self.src = src
+        self.dst = dst
+        self.samples_ns: List[float] = []
+
+    @property
+    def mean_us(self) -> float:
+        return float(np.mean(self.samples_ns)) / 1e3 if self.samples_ns else 0.0
+
+    @property
+    def p90_us(self) -> float:
+        return float(np.percentile(self.samples_ns, 90)) / 1e3 if self.samples_ns else 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_ns)
+
+
+class PathTracer:
+    """Samples skb journeys through a pipeline."""
+
+    def __init__(self, pipeline, sim, max_traces: int = 2000, start_ns: float = 0.0):
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self.pipeline = pipeline
+        self.sim = sim
+        self.max_traces = max_traces
+        self.start_ns = start_ns
+        self._traces: Dict[int, List[Tuple[str, float, int]]] = {}
+        self._orig_inject = None
+        self.installed = False
+
+    # ----------------------------------------------------------- lifecycle
+    def install(self) -> None:
+        """Interpose on ``pipeline.inject`` (idempotent)."""
+        if self.installed:
+            return
+        self._orig_inject = self.pipeline.inject
+        tracer = self
+
+        def traced_inject(node, skb, from_core, front=False):
+            if (
+                node is not None
+                and tracer.sim.now >= tracer.start_ns
+                and (id(skb) in tracer._traces or len(tracer._traces) < tracer.max_traces)
+            ):
+                tracer._traces.setdefault(id(skb), []).append(
+                    (node.stage.name, tracer.sim.now, from_core.id if from_core else -1)
+                )
+            return tracer._orig_inject(node, skb, from_core, front)
+
+        self.pipeline.inject = traced_inject
+        self.installed = True
+
+    def uninstall(self) -> None:
+        """Remove the interposer (idempotent); tracing stops immediately."""
+        if self.installed:
+            # drop the instance attribute so the class method shows through
+            self.pipeline.__dict__.pop("inject", None)
+            self.installed = False
+
+    # ------------------------------------------------------------- results
+    @property
+    def n_traces(self) -> int:
+        return len(self._traces)
+
+    def hops(self) -> List[HopStat]:
+        """Aggregate hop latencies across all sampled skbs, worst first."""
+        agg: Dict[Tuple[str, str], HopStat] = {}
+        for trace in self._traces.values():
+            for (a, ta, _), (b, tb, _) in zip(trace, trace[1:]):
+                stat = agg.get((a, b))
+                if stat is None:
+                    stat = agg[(a, b)] = HopStat(a, b)
+                stat.samples_ns.append(tb - ta)
+        return sorted(agg.values(), key=lambda s: -s.mean_us)
+
+    def hop_report(self, top: Optional[int] = None) -> str:
+        """Human-readable table of the slowest hops."""
+        rows = self.hops()
+        if top is not None:
+            rows = rows[:top]
+        if not rows:
+            return "(no hops traced)"
+        width = max(len(f"{s.src}->{s.dst}") for s in rows)
+        lines = [f"{'hop':<{width}}  {'mean us':>8}  {'p90 us':>8}  {'n':>6}"]
+        for s in rows:
+            lines.append(
+                f"{s.src + '->' + s.dst:<{width}}  {s.mean_us:8.2f}  "
+                f"{s.p90_us:8.2f}  {s.count:6d}"
+            )
+        return "\n".join(lines)
+
+    def path_of(self, nth: int = 0) -> List[Tuple[str, float, int]]:
+        """The (stage, time, from_core) trace of the nth sampled skb."""
+        keys = list(self._traces)
+        if not keys:
+            raise IndexError("no traces recorded")
+        return self._traces[keys[nth]]

@@ -1,0 +1,41 @@
+"""Time and size units used across the simulator.
+
+The simulator clock counts **nanoseconds** (floats).  These helpers keep
+unit conversions explicit and greppable rather than scattering magic
+constants through the packet pipeline.
+"""
+
+from __future__ import annotations
+
+#: one microsecond, in simulator ticks (ns)
+USEC: float = 1_000.0
+#: one millisecond, in simulator ticks (ns)
+MSEC: float = 1_000_000.0
+#: one second, in simulator ticks (ns)
+SEC: float = 1_000_000_000.0
+
+#: kibibyte / mebibyte in bytes
+KIB: int = 1024
+MIB: int = 1024 * 1024
+
+#: one gigabit per second expressed as bytes per nanosecond
+GBPS: float = 1e9 / 8 / 1e9  # = 0.125 bytes/ns
+
+
+def gbps(byte_count: float, duration_ns: float) -> float:
+    """Convert a byte count over a duration (ns) into gigabits per second."""
+    if duration_ns <= 0:
+        raise ValueError(f"duration must be positive, got {duration_ns}")
+    return byte_count * 8.0 / duration_ns  # bytes/ns * 8 = Gbps exactly
+
+
+def ns_per_byte_at_gbps(rate_gbps: float) -> float:
+    """Serialization cost of one byte on a link of ``rate_gbps``."""
+    if rate_gbps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_gbps}")
+    return 8.0 / rate_gbps
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Bit count to byte count."""
+    return bits / 8.0

@@ -1,0 +1,31 @@
+"""Packet-steering policies.
+
+A policy answers one question per hop — *which core executes this stage
+for this skb* — which is exactly the design space the paper surveys:
+
+* ``VanillaPolicy`` — everything on the IRQ core (kernel default);
+* ``RssPolicy`` — per-flow hashing across cores (hardware RSS,
+  inter-flow parallelism only);
+* ``RpsPolicy`` — first softirq on the IRQ core, post-veth processing
+  steered to a second core (Linux RPS as measured in the paper);
+* ``FalconDevPolicy`` / ``FalconFunPolicy`` — FALCON's device-level and
+  function-level softirq pipelining (EuroSys'21 baseline);
+* :class:`repro.core.mflow.MflowPolicy` — the paper's contribution,
+  packet-level parallelism with split/merge nodes.
+"""
+
+from repro.steering.base import SteeringPolicy, stable_flow_hash
+from repro.steering.vanilla import VanillaPolicy
+from repro.steering.rss import RssPolicy
+from repro.steering.rps import RpsPolicy
+from repro.steering.falcon import FalconDevPolicy, FalconFunPolicy
+
+__all__ = [
+    "SteeringPolicy",
+    "stable_flow_hash",
+    "VanillaPolicy",
+    "RssPolicy",
+    "RpsPolicy",
+    "FalconDevPolicy",
+    "FalconFunPolicy",
+]

@@ -1,0 +1,66 @@
+"""FALCON (EuroSys'21): softirq pipelining at device / function level.
+
+Reimplemented from the descriptions in the MFLOW paper (§II) as the
+state-of-the-art baseline.  Both variants pipeline a *single flow*
+across cores at fixed boundaries; neither can split a heavyweight
+stage itself — the gap MFLOW fills.
+"""
+
+from __future__ import annotations
+
+from repro.steering.base import StaticRolePolicy
+
+
+class FalconDevPolicy(StaticRolePolicy):
+    """Device-level pipelining: pNIC | VxLAN | remaining devices.
+
+    Per the paper's measured configuration: the first softirq (driver,
+    skb alloc, GRO, outer protocol stack) stays on core one, VxLAN
+    decapsulation moves to core two, and everything from the bridge
+    onwards runs on core three.
+    """
+
+    stage_role = {
+        "skb_alloc": "first",
+        "gro": "first",
+        "ip_outer": "first",
+        "udp_outer": "first",
+        "vxlan": "vxlan",
+        "bridge": "rest",
+        "veth_xmit": "rest",
+        "veth_rx": "rest",
+        "ip_inner": "rest",
+        "tcp_rcv": "rest",
+        "udp_rcv": "rest",
+        # native path (no devices to pipeline): keep everything on "first"
+        "ip_rcv": "first",
+    }
+    roles = ["first", "vxlan", "rest"]
+    role_weights = {"first": 0.40, "vxlan": 0.35, "rest": 0.25}
+
+
+class FalconFunPolicy(StaticRolePolicy):
+    """Function-level pipelining: skb-alloc | GRO+outer+VxLAN | rest.
+
+    The paper's FALCON-fun configuration dispatches GRO *and all
+    following softirqs* off core one, leaving core one loaded purely by
+    per-packet skb allocation — which FALCON cannot split (that takes
+    MFLOW's IRQ-splitting).
+    """
+
+    stage_role = {
+        "skb_alloc": "first",
+        "gro": "mid",
+        "ip_outer": "mid",
+        "udp_outer": "mid",
+        "vxlan": "mid",
+        "bridge": "rest",
+        "veth_xmit": "rest",
+        "veth_rx": "rest",
+        "ip_inner": "rest",
+        "tcp_rcv": "rest",
+        "udp_rcv": "rest",
+        "ip_rcv": "mid",
+    }
+    roles = ["first", "mid", "rest"]
+    role_weights = {"first": 0.30, "mid": 0.45, "rest": 0.25}

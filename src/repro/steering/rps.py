@@ -1,0 +1,28 @@
+"""Receive Packet Steering (Linux RPS), as measured in the paper."""
+
+from __future__ import annotations
+
+from repro.steering.base import StaticRolePolicy
+
+
+class RpsPolicy(StaticRolePolicy):
+    """RPS on the overlay path.
+
+    The RPS hook fires at ``netif_rx`` on the veth — so the entire first
+    softirq (driver poll, skb alloc, GRO, outer stack, VxLAN decap,
+    bridge, veth xmit) stays on the IRQ core and only the veth-onward
+    bottom half moves to the steered core.  That is why the paper finds
+    RPS barely helps: the heavyweight VxLAN work stays put ("core one
+    remained the bottleneck", §II-B).
+    """
+
+    stage_role = {
+        "veth_rx": "steer",
+        "ip_inner": "steer",
+        "tcp_rcv": "steer",
+        "udp_rcv": "steer",
+        # native-path names (RPS on native steers post-IP processing)
+        "ip_rcv": "first",
+    }
+    roles = ["first", "steer"]
+    role_weights = {"first": 0.85, "steer": 0.15}

@@ -1,0 +1,25 @@
+"""Receive Side Scaling: per-flow hashing onto a core pool."""
+
+from __future__ import annotations
+
+from repro.steering.base import StaticRolePolicy
+
+
+class RssPolicy(StaticRolePolicy):
+    """Hardware RSS: each *flow* is hashed to one core; all of that
+    flow's stages stay there.
+
+    Provides inter-flow parallelism only — an elephant flow still lands
+    on a single core (the limitation MFLOW removes).  Used as the
+    flow-placement substrate in the multi-flow experiments (Fig. 10/12).
+    """
+
+    stage_role = {}
+    roles = ["first"]
+
+    def __init__(self, cpus, app_core=0, core_pool=None, placement: str = "least-loaded"):
+        if core_pool is None:
+            raise ValueError("RSS needs a core pool to hash flows over")
+        super().__init__(
+            cpus, app_core=app_core, core_pool=list(core_pool), placement=placement
+        )

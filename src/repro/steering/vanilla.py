@@ -1,0 +1,17 @@
+"""The kernel default: all packet processing of a flow on one core."""
+
+from __future__ import annotations
+
+from repro.steering.base import StaticRolePolicy
+
+
+class VanillaPolicy(StaticRolePolicy):
+    """Every kernel stage of a flow runs on the IRQ-affine core.
+
+    This is the paper's "vanilla overlay" (and "native") baseline: all
+    three softirqs of the overlay path are squeezed onto a single CPU,
+    which the motivation section shows saturating near 100%.
+    """
+
+    stage_role = {}  # every stage falls back to the single "first" role
+    roles = ["first"]

@@ -1,0 +1,16 @@
+"""Workload generators and experiment scenarios.
+
+* :mod:`repro.workloads.scenario` — assembles a complete simulated
+  testbed (receiver host, client machines, wire, steering policy) and
+  runs warmup + measurement windows;
+* :mod:`repro.workloads.sockperf` — sockperf-style single/multi-flow
+  throughput and latency drivers (the micro-benchmarks of §V-A);
+* :mod:`repro.workloads.webserving` — the CloudSuite Web Serving model
+  (Fig. 11);
+* :mod:`repro.workloads.memcached` — the CloudSuite Data Caching model
+  (Fig. 13).
+"""
+
+from repro.workloads.scenario import Scenario, ScenarioResult, make_flow
+
+__all__ = ["Scenario", "ScenarioResult", "make_flow"]

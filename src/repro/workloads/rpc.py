@@ -1,0 +1,162 @@
+"""Request/response plumbing for the application benchmarks.
+
+Builds on :class:`~repro.workloads.scenario.Scenario`: client machines
+open TCP connections (flows) to a server container behind the simulated
+receive pipeline; requests traverse the full pipeline; the server's
+handler runs as work on the server's application core; responses travel
+back over the wire with their own (uncongested) client-side constant.
+
+This captures what the paper's application experiments measure — how
+the *server host's* packet-processing path, under a given steering
+policy, shapes request latency and throughput — while the client side
+and intra-tier hops are modelled as calibrated constants (see DESIGN.md
+fidelity notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.netstack.packet import FlowKey, Packet
+from repro.sim.units import MSEC
+from repro.workloads.scenario import Scenario
+
+#: fixed client-side response handling (uncongested client machine) plus
+#: response wire time; the interesting contention is all server-side
+CLIENT_RESPONSE_OVERHEAD_NS = 15_000.0
+
+
+@dataclass
+class RpcStats:
+    """Completed-call accounting for one connection."""
+
+    completed: int = 0
+    total_latency_ns: float = 0.0
+
+
+class RpcConnection:
+    """One closed-loop client connection issuing request/response calls."""
+
+    def __init__(
+        self,
+        engine: "RpcEngine",
+        conn_id: int,
+        request_size: int,
+        think_time_ns: float = 0.0,
+    ):
+        self.engine = engine
+        self.conn_id = conn_id
+        self.request_size = request_size
+        self.think_time_ns = think_time_ns
+        self.flow = engine.scenario.make_client_flow(conn_id)
+        self.sender = engine.scenario.add_tcp_sender(
+            request_size, flow=self.flow, continuous=False
+        )
+        self.stats = RpcStats()
+        self._inflight_since: Optional[float] = None
+        self._stopped = False
+
+    def start(self) -> None:
+        self.engine.sim.call_soon(self._issue)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _issue(self) -> None:
+        if self._stopped:
+            return
+        self._inflight_since = self.engine.sim.now
+        self.sender.send_message(self.request_size)
+
+    def on_response(self) -> None:
+        now = self.engine.sim.now
+        if self._inflight_since is not None:
+            latency = now - self._inflight_since
+            self.stats.completed += 1
+            self.stats.total_latency_ns += latency
+            self.engine.telemetry.observe("rpc_latency_ns", latency)
+            self.engine.telemetry.count("rpc_completed")
+        self._inflight_since = None
+        if self.think_time_ns > 0:
+            self.engine.sim.call_in(self.think_time_ns, self._issue)
+        else:
+            self.engine.sim.call_soon(self._issue)
+
+
+class RpcEngine:
+    """Wires connections to the server handler through the scenario."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        server_handler: Optional[Callable[["RpcEngine", FlowKey], None]] = None,
+        server_think_ns: float = 3_000.0,
+        response_size: int = 550,
+    ):
+        if scenario.proto != "tcp":
+            raise ValueError("RPC workloads run over TCP scenarios")
+        self.scenario = scenario
+        self.sim = scenario.sim
+        self.telemetry = scenario.telemetry
+        self.costs = scenario.costs
+        self.server_think_ns = server_think_ns
+        self.response_size = response_size
+        self.connections: Dict[FlowKey, RpcConnection] = {}
+        self._handler = server_handler or self._default_handler
+        scenario.tcp_deliver.set_message_callback(self._on_request_delivered)
+
+    # ---------------------------------------------------------- connections
+    def add_connection(
+        self, request_size: int, think_time_ns: float = 0.0
+    ) -> RpcConnection:
+        conn = RpcConnection(self, len(self.connections), request_size, think_time_ns)
+        self.connections[conn.flow] = conn
+        return conn
+
+    def start(self) -> None:
+        for conn in self.connections.values():
+            conn.start()
+
+    # ------------------------------------------------------------- server
+    def _on_request_delivered(self, flow: FlowKey, pkt: Packet) -> None:
+        conn = self.connections.get(flow)
+        if conn is None:
+            return
+        for _ in range(max(1, pkt.messages_completed)):
+            self._handler(self, flow)
+
+    def _default_handler(self, engine: "RpcEngine", flow: FlowKey) -> None:
+        """Think on the server app core, then send the response back."""
+        app_core = self.scenario.cpus[self.scenario.policy.app_core_idx_for(flow)]
+        app_core.submit_call("server_think", self.server_think_ns, self._respond, flow)
+
+    def _respond(self, flow: FlowKey) -> None:
+        conn = self.connections.get(flow)
+        if conn is None:
+            return
+        app_core = self.scenario.cpus[self.scenario.policy.app_core_idx_for(flow)]
+        send_cost = (
+            self.costs.send_syscall_ns
+            + self.costs.send_per_seg_tcp_ns
+            * max(1, (self.response_size + 1447) // 1448)
+        )
+        app_core.submit_call("server_send", send_cost, self._deliver_response, flow)
+
+    def _deliver_response(self, flow: FlowKey) -> None:
+        conn = self.connections[flow]
+        delay = (
+            self.costs.wire_delay_ns
+            + CLIENT_RESPONSE_OVERHEAD_NS
+            + self.response_size * 8.0 / self.costs.link_gbps
+        )
+        self.sim.call_in(delay, conn.on_response)
+
+    # ------------------------------------------------------------- results
+    def run(self, warmup_ns: float = 2 * MSEC, measure_ns: float = 20 * MSEC):
+        self.start()
+        self.sim.run(until_ns=warmup_ns)
+        self.telemetry.start_window()
+        self.scenario.cpus.start_window()
+        self.sim.run(until_ns=warmup_ns + measure_ns)
+        return self.scenario._collect(measure_ns)

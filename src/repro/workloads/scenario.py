@@ -1,0 +1,240 @@
+"""Testbed assembly: one detailed receiver host plus client machines.
+
+Mirrors the paper's two-server setup: the receive side (where all the
+contention the paper studies happens) is simulated in full stage-level
+detail; each client machine contributes CPU-limited senders on its own
+cores, connected by a 100 Gbps wire.
+
+Typical use::
+
+    sc = Scenario(DatapathKind.OVERLAY, "tcp",
+                  lambda cpus: VanillaPolicy(cpus, app_core=0,
+                                             role_cores={"first": 1}))
+    sc.add_tcp_sender(message_size=64 * 1024)
+    res = sc.run()
+    print(res.throughput_gbps)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cpu.topology import CpuSet
+from repro.metrics.summary import LatencySummary, summarize_latencies
+from repro.metrics.telemetry import Telemetry
+from repro.netstack.costs import DEFAULT_COSTS, CostModel
+from repro.netstack.nic import Nic, Wire
+from repro.netstack.packet import FlowKey
+from repro.netstack.pipeline import Pipeline, link_nodes
+from repro.netstack.protocol.tcp import TcpDeliverStage, TcpReceiverStage, TcpSender
+from repro.netstack.protocol.udp import UdpDeliverStage, UdpSender
+from repro.overlay.topology import DatapathKind, build_datapath_stages
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.units import MSEC
+from repro.steering.base import SteeringPolicy
+
+
+def make_flow(proto: str, client_id: int = 0, dport: int = 5001) -> FlowKey:
+    """A canonical flow from client machine ``client_id`` to the server."""
+    return FlowKey(src=100 + client_id, dst=1, proto=proto, sport=40000 + client_id, dport=dport)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the paper's figures read off one run."""
+
+    throughput_gbps: float
+    messages_delivered: int
+    latency: LatencySummary
+    cpu_utilization: List[float]
+    cpu_breakdown: List[Dict[str, float]]
+    counters: Dict[str, int] = field(default_factory=dict)
+    drops: Dict[str, int] = field(default_factory=dict)
+    ooo_arrivals: int = 0
+    window_ns: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - convenience printer
+        return (
+            f"throughput={self.throughput_gbps:.2f} Gbps "
+            f"msgs={self.messages_delivered} lat[{self.latency}]"
+        )
+
+
+class Scenario:
+    """A complete single-receiver testbed under one steering policy."""
+
+    def __init__(
+        self,
+        kind: DatapathKind,
+        proto: str,
+        policy_factory: Callable[[CpuSet], SteeringPolicy],
+        costs: Optional[CostModel] = None,
+        seed: int = 0,
+        n_receiver_cores: int = 8,
+        irq_core: int = 1,
+        rss_core_indices: Optional[List[int]] = None,
+    ):
+        if proto not in ("tcp", "udp"):
+            raise ValueError(f"proto must be 'tcp' or 'udp', got {proto!r}")
+        self.kind = kind
+        self.proto = proto
+        self.costs = costs if costs is not None else DEFAULT_COSTS
+        self.costs.validate()
+        self.sim = Simulator()
+        self.rngs = RngStreams(seed)
+        self.telemetry = Telemetry(self.sim)
+        self.cpus = CpuSet(
+            self.sim,
+            n_receiver_cores,
+            jitter_sigma=self.costs.core_jitter_sigma,
+            rngs=self.rngs,
+        )
+        self.policy = policy_factory(self.cpus)
+
+        self.tcp_receiver: Optional[TcpReceiverStage] = None
+        self.tcp_deliver: Optional[TcpDeliverStage] = None
+        self.udp_deliver: Optional[UdpDeliverStage] = None
+        if proto == "tcp":
+            self.tcp_receiver = TcpReceiverStage(self._route_ack)
+            self.tcp_deliver = TcpDeliverStage()
+        else:
+            self.udp_deliver = UdpDeliverStage()
+        stages = build_datapath_stages(
+            kind,
+            proto,
+            tcp_receiver=self.tcp_receiver,
+            udp_deliver=self.udp_deliver,
+            tcp_deliver=self.tcp_deliver,
+        )
+        stages = self.policy.build_pipeline_stages(stages)
+        self.pipeline = Pipeline(self.sim, self.costs, self.policy, self.telemetry)
+        self.pipeline.set_head(link_nodes(stages))
+        rss_cores = (
+            [self.cpus[i] for i in rss_core_indices] if rss_core_indices else None
+        )
+        self.nic = Nic(
+            self.sim,
+            self.costs,
+            self.cpus[irq_core],
+            self.pipeline,
+            self.telemetry,
+            rss_cores=rss_cores,
+        )
+        self.wire = Wire(self.sim, self.costs, self.nic)
+
+        self._senders: Dict[FlowKey, object] = {}
+        self._client_count = 0
+
+    # ------------------------------------------------------------- clients
+    def make_client_flow(self, client_id: int, dport: int = 5001) -> FlowKey:
+        """A fresh flow key for one client connection."""
+        return make_flow(self.proto, client_id, dport=dport)
+
+    def _new_client_cores(self) -> CpuSet:
+        """Each client machine contributes an (app, kernel) core pair."""
+        return CpuSet(
+            self.sim, 2, jitter_sigma=self.costs.core_jitter_sigma, rngs=self.rngs
+        )
+
+    def add_tcp_sender(
+        self,
+        message_size: int,
+        flow: Optional[FlowKey] = None,
+        window_bytes: Optional[int] = None,
+        continuous: bool = True,
+        interval_ns: Optional[float] = None,
+    ) -> TcpSender:
+        if self.proto != "tcp":
+            raise RuntimeError("scenario is not a TCP scenario")
+        if flow is None:
+            flow = make_flow("tcp", self._client_count)
+        client = self._new_client_cores()
+        sender = TcpSender(
+            self.sim,
+            self.costs,
+            flow,
+            message_size,
+            self.wire,
+            app_core=client[0],
+            kernel_core=client[1],
+            telemetry=self.telemetry,
+            encap=(self.kind is DatapathKind.OVERLAY),
+            window_bytes=window_bytes,
+            continuous=continuous,
+            interval_ns=interval_ns,
+        )
+        self._senders[flow] = sender
+        self._client_count += 1
+        return sender
+
+    def add_udp_sender(
+        self,
+        message_size: int,
+        flow: Optional[FlowKey] = None,
+        interval_ns: Optional[float] = None,
+    ) -> UdpSender:
+        if self.proto != "udp":
+            raise RuntimeError("scenario is not a UDP scenario")
+        if flow is None:
+            flow = make_flow("udp", self._client_count)
+        client = self._new_client_cores()
+        sender = UdpSender(
+            self.sim,
+            self.costs,
+            flow,
+            message_size,
+            self.wire,
+            app_core=client[0],
+            kernel_core=client[1],
+            telemetry=self.telemetry,
+            encap=(self.kind is DatapathKind.OVERLAY),
+            interval_ns=interval_ns,
+        )
+        self._senders[flow] = sender
+        self._client_count += 1
+        return sender
+
+    def _route_ack(self, flow: FlowKey, ack_seq: int) -> None:
+        sender = self._senders.get(flow)
+        if sender is not None:
+            self.sim.call_in(self.costs.wire_delay_ns, sender.on_ack, flow, ack_seq)
+
+    # ----------------------------------------------------------------- run
+    def run(
+        self,
+        warmup_ns: float = 2 * MSEC,
+        measure_ns: float = 10 * MSEC,
+    ) -> ScenarioResult:
+        """Start all senders, warm up, measure, and summarize."""
+        if not self._senders:
+            raise RuntimeError("no senders configured")
+        for i, sender in enumerate(self._senders.values()):
+            # small stagger so clients do not start in lockstep
+            self.sim.call_in(i * 1_000.0, sender.start)
+        self.sim.run(until_ns=warmup_ns)
+        self.telemetry.start_window()
+        self.cpus.start_window()
+        self.sim.run(until_ns=warmup_ns + measure_ns)
+        return self._collect(measure_ns)
+
+    def _collect(self, window_ns: float) -> ScenarioResult:
+        bytes_counter = f"{self.proto}_delivered_bytes"
+        latency_samples = self.telemetry.sample_list(f"{self.proto}_msg_latency_ns")
+        ooo = 0
+        if hasattr(self.policy, "ooo_arrivals"):
+            ooo = self.policy.ooo_arrivals
+        return ScenarioResult(
+            throughput_gbps=self.telemetry.window_rate_gbps(bytes_counter),
+            messages_delivered=self.telemetry.window_count(
+                f"{self.proto}_delivered_messages"
+            ),
+            latency=summarize_latencies(latency_samples),
+            cpu_utilization=self.cpus.utilization(),
+            cpu_breakdown=self.cpus.utilization_breakdown(),
+            counters=dict(self.telemetry.counters),
+            drops=dict(self.pipeline.drops),
+            ooo_arrivals=ooo,
+            window_ns=window_ns,
+        )

@@ -1,0 +1,305 @@
+"""CloudSuite Web Serving model (paper Fig. 11).
+
+An Elgg/nginx web server container behind the simulated overlay receive
+pipeline; 200 closed-loop users issue a mix of operation types (browse /
+login / chat / update / ...).  Each operation is a client→web request
+through the full receive path, followed by server-side work that
+includes backend exchanges (memcached/mysql tiers) modelled as extra
+request messages through the same pipeline from a backend machine, then
+a response.
+
+Metrics follow the benchmark's reporting:
+
+* **success rate** — operations completing within their pacing deadline,
+  per second;
+* **response time** — mean time to complete one operation;
+* **delay time** — mean (actual − target) for operations over target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import BranchPlan, MflowConfig
+from repro.core.mflow import MflowPolicy
+from repro.cpu.topology import CpuSet
+from repro.netstack.costs import CostModel
+from repro.netstack.packet import FlowKey, Packet
+from repro.overlay.topology import DatapathKind
+from repro.sim.units import MSEC
+from repro.steering.base import SteeringPolicy
+from repro.steering.falcon import FalconFunPolicy
+from repro.steering.vanilla import VanillaPolicy
+from repro.workloads.scenario import Scenario
+
+#: web/php worker cores on the server host (nginx + php-fpm pool)
+SERVER_CORES = [0, 1, 2, 3]
+#: aggregate micro-flow batch for application traffic (see memcached.py)
+APP_BATCH_SIZE = 4
+
+SYSTEMS = ("vanilla", "falcon", "mflow")
+
+
+@dataclass(frozen=True)
+class OpType:
+    """One Elgg operation class: request/response shape and pacing target."""
+
+    name: str
+    weight: float            # share of the operation mix
+    request_size: int        # client -> web request bytes
+    response_size: int       # web -> client response bytes
+    backend_calls: int       # memcached/mysql exchanges per op
+    backend_bytes: int       # data pulled from the cache/db tier per call
+    server_work_ns: float    # PHP execution time
+    target_ns: float         # pacing deadline (success threshold)
+
+
+#: the operation mix (weights sum to 1); shapes follow the benchmark's
+#: mix of light browse/chat traffic and heavier login/update pages.
+#: Backend pulls dominate the web tier's *inbound* overlay traffic —
+#: that is the path the steering policies contend on.
+OP_TYPES: List[OpType] = [
+    OpType("browse", 0.40, 300, 24_000, 1, 16_000, 12_000.0, 1_850_000.0),
+    OpType("login", 0.15, 500, 32_000, 3, 24_000, 30_000.0, 3_800_000.0),
+    OpType("chat", 0.25, 400, 8_000, 2, 8_000, 15_000.0, 2_700_000.0),
+    OpType("update", 0.12, 2_000, 12_000, 3, 24_000, 35_000.0, 3_700_000.0),
+    OpType("upload", 0.08, 16_000, 4_000, 2, 8_000, 50_000.0, 2_900_000.0),
+]
+
+#: pooled web->backend connections (php workers share persistent conns)
+BACKEND_POOL = 32
+#: backend tier service time per call (lookup/query on the other machine)
+BACKEND_SERVICE_NS = 12_000.0
+
+
+@dataclass
+class OpStats:
+    issued: int = 0
+    completed: int = 0
+    success: int = 0
+    latencies_ns: List[float] = field(default_factory=list)
+    delays_ns: List[float] = field(default_factory=list)
+
+
+@dataclass
+class WebServingResult:
+    system: str
+    n_users: int
+    per_op: Dict[str, OpStats]
+    window_s: float
+
+    def success_ops_per_sec(self, op: str) -> float:
+        return self.per_op[op].success / self.window_s
+
+    def total_success_per_sec(self) -> float:
+        return sum(s.success for s in self.per_op.values()) / self.window_s
+
+    def mean_response_us(self, op: str) -> float:
+        lats = self.per_op[op].latencies_ns
+        return float(np.mean(lats)) / 1e3 if lats else 0.0
+
+    def mean_delay_us(self, op: str) -> float:
+        delays = self.per_op[op].delays_ns
+        return float(np.mean(delays)) / 1e3 if delays else 0.0
+
+
+def webserving_policy_factory(system: str) -> Callable[[CpuSet], SteeringPolicy]:
+    if system not in SYSTEMS:
+        raise ValueError(f"unknown system {system!r}; expected one of {SYSTEMS}")
+
+    def build(cpus: CpuSet) -> SteeringPolicy:
+        if system == "vanilla":
+            return VanillaPolicy(cpus, app_core=SERVER_CORES, role_cores={"first": 4})
+        if system == "falcon":
+            return FalconFunPolicy(
+                cpus,
+                app_core=SERVER_CORES,
+                role_cores={"first": 4, "mid": 5, "rest": 6},
+            )
+        config = MflowConfig(
+            split_before="skb_alloc",
+            merge_before="tcp_rcv",
+            branches=[BranchPlan(default_core=5), BranchPlan(default_core=6)],
+            dispatch_core=4,
+            merge_core=7,
+            aggregate=True,
+            batch_size=APP_BATCH_SIZE,
+        )
+        return MflowPolicy(cpus, config, app_core=SERVER_CORES)
+
+    return build
+
+
+class WebServingBenchmark:
+    """Closed-loop users driving the Elgg operation mix."""
+
+    def __init__(
+        self,
+        system: str,
+        n_users: int = 200,
+        costs: Optional[CostModel] = None,
+        seed: int = 0,
+        think_time_ns: float = 2 * MSEC,
+    ):
+        if n_users < 1:
+            raise ValueError(f"need at least one user, got {n_users}")
+        self.system = system
+        self.n_users = n_users
+        self.think_time_ns = think_time_ns
+        self.scenario = Scenario(
+            DatapathKind.OVERLAY,
+            "tcp",
+            webserving_policy_factory(system),
+            costs=costs,
+            seed=seed,
+            n_receiver_cores=8,
+            irq_core=4,
+        )
+        self.sim = self.scenario.sim
+        self.costs = self.scenario.costs
+        self.telemetry = self.scenario.telemetry
+        self._rng = self.scenario.rngs.stream("webserving.ops")
+        self._op_weights = np.array([op.weight for op in OP_TYPES])
+        self._op_weights = self._op_weights / self._op_weights.sum()
+        self.stats: Dict[str, OpStats] = {op.name: OpStats() for op in OP_TYPES}
+        self.scenario.tcp_deliver.set_message_callback(self._on_message_delivered)
+        # user connections: each user keeps one connection to the web tier
+        self._user_senders = []
+        self._user_op: Dict[FlowKey, OpType] = {}
+        self._user_issue_ts: Dict[FlowKey, float] = {}
+        self._recording = False
+        for uid in range(n_users):
+            flow = self.scenario.make_client_flow(uid, dport=80)
+            sender = self.scenario.add_tcp_sender(64, flow=flow, continuous=False)
+            self._user_senders.append((flow, sender))
+        self._user_flows = {flow: i for i, (flow, _) in enumerate(self._user_senders)}
+        # backend tier: pooled connections whose *responses* traverse the
+        # web host's receive pipeline (cache/db data pulled per op)
+        self._backend_senders = []
+        self._backend_waiting: Dict[FlowKey, List[Callable[[], None]]] = {}
+        for bid in range(BACKEND_POOL):
+            flow = self.scenario.make_client_flow(10_000 + bid, dport=11211)
+            sender = self.scenario.add_tcp_sender(64, flow=flow, continuous=False)
+            self._backend_senders.append((flow, sender))
+            self._backend_waiting[flow] = []
+        self._backend_rr = 0
+
+    # ----------------------------------------------------------- user loop
+    def _start_users(self) -> None:
+        for i, (flow, _) in enumerate(self._user_senders):
+            # stagger user starts across one think time
+            delay = self.think_time_ns * (i / max(1, len(self._user_senders)))
+            self.sim.call_in(delay, self._issue_op, flow)
+
+    def _pick_op(self) -> OpType:
+        idx = int(self._rng.choice(len(OP_TYPES), p=self._op_weights))
+        return OP_TYPES[idx]
+
+    def _issue_op(self, flow: FlowKey) -> None:
+        op = self._pick_op()
+        self._user_op[flow] = op
+        self._user_issue_ts[flow] = self.sim.now
+        if self._recording:
+            self.stats[op.name].issued += 1
+        _, sender = self._user_senders[self._user_flows[flow]]
+        sender.send_message(op.request_size)
+
+    # --------------------------------------------------------- server side
+    def _on_message_delivered(self, flow: FlowKey, pkt: Packet) -> None:
+        if flow in self._backend_waiting:
+            waiting = self._backend_waiting[flow]
+            if waiting:
+                waiting.pop(0)()
+            return
+        op = self._user_op.get(flow)
+        if op is None:
+            return
+        app_core = self.scenario.cpus[self.scenario.policy.app_core_idx_for(flow)]
+        # PHP work split around backend calls
+        per_phase = op.server_work_ns / (op.backend_calls + 1)
+        self._server_phase(flow, op, op.backend_calls, per_phase, app_core)
+
+    def _backend_call(self, op: OpType, done: Callable[[], None]) -> None:
+        """Pull ``op.backend_bytes`` from the cache/db tier: the backend
+        machine serves the query and its response message traverses the
+        web host's full receive pipeline before ``done`` fires."""
+        flow, sender = self._backend_senders[self._backend_rr % len(self._backend_senders)]
+        self._backend_rr += 1
+        self._backend_waiting[flow].append(done)
+        self.sim.call_in(
+            BACKEND_SERVICE_NS, sender.send_message, op.backend_bytes
+        )
+
+    def _server_phase(self, flow: FlowKey, op: OpType, remaining: int, per_phase: float, app_core) -> None:
+        def after_work() -> None:
+            if remaining > 0:
+                self._backend_call(
+                    op,
+                    lambda: self._server_phase(
+                        flow, op, remaining - 1, per_phase, app_core
+                    ),
+                )
+            else:
+                self._respond(flow, op, app_core)
+
+        app_core.submit_call("php_work", per_phase, after_work)
+
+    def _respond(self, flow: FlowKey, op: OpType, app_core) -> None:
+        n_segs = max(1, (op.response_size + 1447) // 1448)
+        send_cost = self.costs.send_syscall_ns + self.costs.send_per_seg_tcp_ns * n_segs
+        response_wire = (
+            self.costs.wire_delay_ns
+            + op.response_size * 8.0 / self.costs.link_gbps
+            + 20_000.0  # client render/ack constant
+        )
+        app_core.submit_call(
+            "server_send",
+            send_cost,
+            lambda: self.sim.call_in(response_wire, self._complete_op, flow, op),
+        )
+
+    def _complete_op(self, flow: FlowKey, op: OpType) -> None:
+        now = self.sim.now
+        latency = now - self._user_issue_ts.get(flow, now)
+        if self._recording:
+            st = self.stats[op.name]
+            st.completed += 1
+            st.latencies_ns.append(latency)
+            if latency <= op.target_ns:
+                st.success += 1
+            else:
+                st.delays_ns.append(latency - op.target_ns)
+        self.sim.call_in(self.think_time_ns, self._issue_op, flow)
+
+    # --------------------------------------------------------------- run
+    def run(
+        self, warmup_ns: float = 50 * MSEC, measure_ns: float = 200 * MSEC
+    ) -> WebServingResult:
+        self._start_users()
+        self.sim.run(until_ns=warmup_ns)
+        self._recording = True
+        self.telemetry.start_window()
+        self.scenario.cpus.start_window()
+        self.sim.run(until_ns=warmup_ns + measure_ns)
+        return WebServingResult(
+            system=self.system,
+            n_users=self.n_users,
+            per_op=self.stats,
+            window_s=measure_ns / 1e9,
+        )
+
+
+def run_webserving(
+    system: str,
+    n_users: int = 200,
+    costs: Optional[CostModel] = None,
+    seed: int = 0,
+    warmup_ns: float = 50 * MSEC,
+    measure_ns: float = 200 * MSEC,
+) -> WebServingResult:
+    """One system's bars in Fig. 11."""
+    bench = WebServingBenchmark(system, n_users=n_users, costs=costs, seed=seed)
+    return bench.run(warmup_ns=warmup_ns, measure_ns=measure_ns)

@@ -1,0 +1,15 @@
+"""Pytest fixtures; makes tests/helpers.py importable from any cwd."""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.sim.engine import Simulator  # noqa: E402
+
+
+@pytest.fixture
+def sim():
+    return Simulator()

@@ -1,0 +1,151 @@
+"""Tests for the analysis package: bottleneck model, charts, conservation."""
+
+import pytest
+
+from repro.analysis.bottleneck import BottleneckModel
+from repro.analysis.charts import bar_chart, line_chart
+from repro.analysis.conservation import check_conservation
+from repro.netstack.costs import DEFAULT_COSTS
+
+
+class TestBottleneckModel:
+    def test_rejects_unknown_proto(self):
+        with pytest.raises(ValueError):
+            BottleneckModel(DEFAULT_COSTS, proto="sctp")
+
+    def test_gro_factor_udp_is_one(self):
+        assert BottleneckModel(DEFAULT_COSTS, proto="udp").gro_factor() == 1.0
+
+    def test_gro_factor_encap_smaller(self):
+        native = BottleneckModel(DEFAULT_COSTS, proto="tcp", overlay=False)
+        overlay = BottleneckModel(DEFAULT_COSTS, proto="tcp", overlay=True)
+        assert overlay.gro_factor() < native.gro_factor()
+
+    def test_vanilla_native_ceiling_matches_calibration(self):
+        """The analytic native TCP ceiling must sit near the paper's
+        26.6 Gbps target (that is what the cost model is calibrated to)."""
+        model = BottleneckModel(DEFAULT_COSTS, proto="tcp", overlay=False)
+        assert 22.0 < model.vanilla_ceiling() < 31.0
+
+    def test_overlay_ceiling_below_native(self):
+        native = BottleneckModel(DEFAULT_COSTS, proto="tcp", overlay=False)
+        overlay = BottleneckModel(DEFAULT_COSTS, proto="tcp", overlay=True)
+        assert overlay.vanilla_ceiling() < 0.75 * native.vanilla_ceiling()
+
+    def test_falcon_above_vanilla_overlay(self):
+        m = BottleneckModel(DEFAULT_COSTS, proto="tcp", overlay=True)
+        assert m.falcon_fun_ceiling() > m.vanilla_ceiling()
+
+    def test_mflow_branches_raise_ceiling(self):
+        m = BottleneckModel(DEFAULT_COSTS, proto="udp", overlay=True)
+        assert m.mflow_branch_ceiling(2) > m.vanilla_ceiling()
+        assert m.mflow_branch_ceiling(2) >= m.mflow_branch_ceiling(1)
+
+    def test_missing_stage_in_assignment_rejected(self):
+        m = BottleneckModel(DEFAULT_COSTS, proto="tcp", overlay=False)
+        with pytest.raises(KeyError):
+            m.core_loads({"driver_poll": 1})
+
+    def test_simulator_respects_analytic_ceiling(self):
+        """Measured throughput must not exceed the closed-form upper bound."""
+        from repro.workloads.sockperf import run_single_flow
+
+        model = BottleneckModel(DEFAULT_COSTS, proto="tcp", overlay=True)
+        measured = run_single_flow(
+            "vanilla", "tcp", 65536, warmup_ns=1e6, measure_ns=3e6
+        ).throughput_gbps
+        assert measured <= model.vanilla_ceiling() * 1.02  # float slack
+
+    def test_core_loads_sum_handoffs(self):
+        m = BottleneckModel(DEFAULT_COSTS, proto="udp", overlay=True)
+        one_core = m.core_loads({n: 1 for n, _, _ in m.stage_list()})
+        split = dict.fromkeys([n for n, _, _ in m.stage_list()], 1)
+        split["vxlan"] = 2
+        two_core = m.core_loads(split)
+        # splitting adds handoff + dispatch overhead to total work
+        assert sum(two_core.values()) > sum(one_core.values())
+
+
+class TestCharts:
+    def test_bar_chart_contains_labels_and_values(self):
+        out = bar_chart({"native": 26.6, "mflow": 29.8}, unit=" Gbps", title="t")
+        assert "native" in out and "29.80 Gbps" in out and out.startswith("t")
+
+    def test_bar_chart_peak_fills_width(self):
+        out = bar_chart({"a": 10.0, "b": 5.0}, width=20)
+        rows = out.splitlines()
+        assert rows[0].count("#") == 20
+        assert rows[1].count("#") == 10
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_line_chart_renders_all_series(self):
+        out = line_chart(
+            {"x2": [(1, 1), (2, 4)], "x3": [(1, 1), (2, 8)]}, width=20, height=6
+        )
+        assert "x2" in out and "x3" in out
+        assert "*" in out and "o" in out
+
+    def test_line_chart_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+
+class TestConservation:
+    def test_balanced_run_is_ok(self):
+        counters = {
+            "nic_rx_packets": 100,
+            "nic_ring_drops": 0,
+            "backlog_drops": 10,
+            "tcp_delivered_segments": 85,
+        }
+        rep = check_conservation(counters, sent_packets=100, proto="tcp",
+                                 in_flight_estimate=10)
+        assert rep.unaccounted == 5
+        assert rep.ok()
+
+    def test_overdelivery_fails(self):
+        counters = {"nic_rx_packets": 10, "tcp_delivered_segments": 20}
+        rep = check_conservation(counters, sent_packets=10, proto="tcp")
+        assert not rep.ok()
+
+    def test_unknown_proto_rejected(self):
+        with pytest.raises(ValueError):
+            check_conservation({}, 0, "sctp")
+
+    def test_real_tcp_run_conserves(self):
+        from repro.overlay.topology import DatapathKind
+        from repro.steering.vanilla import VanillaPolicy
+        from repro.workloads.scenario import Scenario
+
+        sc = Scenario(
+            DatapathKind.OVERLAY,
+            "tcp",
+            lambda c: VanillaPolicy(c, app_core=0, role_cores={"first": 1}),
+        )
+        sender = sc.add_tcp_sender(65536)
+        res = sc.run(warmup_ns=1e6, measure_ns=3e6)
+        sent_packets = res.counters.get("nic_rx_packets", 0)  # lossless wire
+        rep = check_conservation(res.counters, sent_packets, "tcp")
+        assert rep.ok()
+
+    def test_real_udp_overload_run_conserves(self):
+        from repro.overlay.topology import DatapathKind
+        from repro.steering.vanilla import VanillaPolicy
+        from repro.workloads.scenario import Scenario
+
+        sc = Scenario(
+            DatapathKind.OVERLAY,
+            "udp",
+            lambda c: VanillaPolicy(c, app_core=0, role_cores={"first": 1}),
+        )
+        for _ in range(3):
+            sc.add_udp_sender(65536)
+        res = sc.run(warmup_ns=1e6, measure_ns=4e6)
+        rep = check_conservation(
+            res.counters, res.counters.get("nic_rx_packets", 0), "udp",
+            in_flight_estimate=2 * DEFAULT_COSTS.backlog_limit + DEFAULT_COSTS.rx_ring_size,
+        )
+        assert rep.ok()

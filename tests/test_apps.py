@@ -1,0 +1,110 @@
+"""Integration tests for the application workloads (Fig. 11/13 claims)."""
+
+import pytest
+
+from repro.workloads.memcached import (
+    SYSTEMS as MEMCACHED_SYSTEMS,
+    build_memcached,
+    memcached_policy_factory,
+    run_memcached,
+)
+from repro.workloads.rpc import RpcEngine
+from repro.workloads.webserving import (
+    OP_TYPES,
+    WebServingBenchmark,
+    run_webserving,
+    webserving_policy_factory,
+)
+
+
+class TestRpcEngine:
+    def test_closed_loop_completes_requests(self):
+        eng = build_memcached("vanilla", 1)
+        eng.run(warmup_ns=0.5e6, measure_ns=3e6)
+        assert eng.telemetry.window_count("rpc_completed") > 0
+
+    def test_latency_samples_recorded(self):
+        eng = build_memcached("vanilla", 1)
+        eng.run(warmup_ns=0.5e6, measure_ns=3e6)
+        assert len(eng.telemetry.sample_list("rpc_latency_ns")) > 0
+
+    def test_rpc_requires_tcp(self):
+        from repro.overlay.topology import DatapathKind
+        from repro.steering.vanilla import VanillaPolicy
+        from repro.workloads.scenario import Scenario
+
+        sc = Scenario(
+            DatapathKind.OVERLAY,
+            "udp",
+            lambda c: VanillaPolicy(c, app_core=0, role_cores={"first": 1}),
+        )
+        with pytest.raises(ValueError):
+            RpcEngine(sc)
+
+    def test_connection_counts(self):
+        eng = build_memcached("mflow", 2, connections_per_client=3)
+        assert len(eng.connections) == 6
+
+
+class TestMemcached:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            memcached_policy_factory("bogus")
+
+    def test_positive_clients_required(self):
+        with pytest.raises(ValueError):
+            build_memcached("vanilla", 0)
+
+    @pytest.mark.parametrize("system", MEMCACHED_SYSTEMS)
+    def test_all_systems_complete_requests(self, system):
+        res = run_memcached(system, 1, warmup_ns=0.5e6, measure_ns=3e6)
+        assert res.requests_per_sec > 0
+        assert res.latency.p99_us >= res.latency.mean_us * 0.5
+
+    def test_mflow_beats_vanilla_under_pressure(self):
+        """Fig. 13's 10-client claim (direction)."""
+        van = run_memcached("vanilla", 10, warmup_ns=1e6, measure_ns=6e6)
+        mfl = run_memcached("mflow", 10, warmup_ns=1e6, measure_ns=6e6)
+        assert mfl.latency.mean_us < 0.7 * van.latency.mean_us
+        assert mfl.latency.p99_us < 0.7 * van.latency.p99_us
+        assert mfl.requests_per_sec > van.requests_per_sec
+
+    def test_latency_grows_with_clients(self):
+        one = run_memcached("vanilla", 1, warmup_ns=1e6, measure_ns=4e6)
+        ten = run_memcached("vanilla", 10, warmup_ns=1e6, measure_ns=4e6)
+        assert ten.latency.mean_us > one.latency.mean_us
+
+
+class TestWebServing:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            webserving_policy_factory("bogus")
+
+    def test_positive_users_required(self):
+        with pytest.raises(ValueError):
+            WebServingBenchmark("vanilla", n_users=0)
+
+    def test_ops_complete_and_stats_consistent(self):
+        res = run_webserving("mflow", n_users=40, warmup_ns=5e6, measure_ns=2e7)
+        total_completed = sum(s.completed for s in res.per_op.values())
+        total_success = sum(s.success for s in res.per_op.values())
+        assert total_completed > 0
+        assert 0 <= total_success <= total_completed
+        for op in OP_TYPES:
+            st = res.per_op[op.name]
+            assert st.success <= st.completed <= st.issued + 50  # in-flight slack
+
+    def test_mflow_success_far_above_vanilla(self):
+        """Fig. 11's claim (direction + meaningful factor) at 200 users."""
+        van = run_webserving("vanilla", n_users=200, warmup_ns=2e7, measure_ns=4e7)
+        mfl = run_webserving("mflow", n_users=200, warmup_ns=2e7, measure_ns=4e7)
+        assert mfl.total_success_per_sec() > 1.8 * van.total_success_per_sec()
+
+    def test_response_time_reduced(self):
+        van = run_webserving("vanilla", n_users=200, warmup_ns=2e7, measure_ns=4e7)
+        mfl = run_webserving("mflow", n_users=200, warmup_ns=2e7, measure_ns=4e7)
+        for op in OP_TYPES:
+            assert mfl.mean_response_us(op.name) < van.mean_response_us(op.name)
+
+    def test_op_mix_weights_normalised(self):
+        assert sum(op.weight for op in OP_TYPES) == pytest.approx(1.0)

@@ -1,0 +1,160 @@
+"""Unit tests for the CPU core model."""
+
+import pytest
+
+from repro.cpu.core import Core, WorkItem
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+def make_core(speed=1.0, jitter=0.0, seed=0):
+    sim = Simulator()
+    rng = RngStreams(seed).stream("core") if jitter > 0 else None
+    return sim, Core(sim, 0, speed=speed, jitter_sigma=jitter, rng=rng)
+
+
+class TestCoreExecution:
+    def test_work_executes_after_cost(self):
+        sim, core = make_core()
+        done = []
+        core.submit_call("t", 100.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [100.0]
+
+    def test_serial_execution(self):
+        sim, core = make_core()
+        done = []
+        core.submit_call("a", 100.0, lambda: done.append(("a", sim.now)))
+        core.submit_call("b", 50.0, lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", 100.0), ("b", 150.0)]
+
+    def test_speed_scales_duration(self):
+        sim, core = make_core(speed=2.0)
+        done = []
+        core.submit_call("t", 100.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [50.0]
+
+    def test_completion_may_submit_more_work(self):
+        sim, core = make_core()
+        done = []
+
+        def first():
+            core.submit_call("t", 30.0, lambda: done.append(sim.now))
+
+        core.submit_call("t", 70.0, first)
+        sim.run()
+        assert done == [100.0]
+
+    def test_zero_cost_work_allowed(self):
+        sim, core = make_core()
+        done = []
+        core.submit_call("t", 0.0, lambda: done.append(True))
+        sim.run()
+        assert done == [True]
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            WorkItem("t", -1.0, lambda: None)
+
+    def test_submit_front_runs_before_queued_work(self):
+        sim, core = make_core()
+        order = []
+
+        def first():
+            # continuation jumps ahead of "b"
+            core.submit_front_call("cont", 10.0, lambda: order.append("cont"))
+
+        core.submit_call("a", 10.0, first)
+        core.submit_call("b", 10.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["cont", "b"]
+
+    def test_submit_front_on_idle_core_executes(self):
+        sim, core = make_core()
+        done = []
+        core.submit_front_call("t", 5.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [5.0]
+
+
+class TestCoreAccounting:
+    def test_busy_time_per_tag(self):
+        sim, core = make_core()
+        core.submit_call("alloc", 100.0, lambda: None)
+        core.submit_call("alloc", 50.0, lambda: None)
+        core.submit_call("gro", 25.0, lambda: None)
+        sim.run()
+        assert core.busy_ns["alloc"] == pytest.approx(150.0)
+        assert core.busy_ns["gro"] == pytest.approx(25.0)
+        assert core.total_busy_ns() == pytest.approx(175.0)
+
+    def test_items_executed(self):
+        sim, core = make_core()
+        for _ in range(7):
+            core.submit_call("t", 1.0, lambda: None)
+        sim.run()
+        assert core.items_executed == 7
+
+    def test_queue_depth_and_busy_flags(self):
+        sim, core = make_core()
+        assert not core.busy
+        core.submit_call("t", 100.0, lambda: None)
+        core.submit_call("t", 100.0, lambda: None)
+        assert core.busy
+        assert core.queue_depth == 1  # one running, one queued
+        sim.run()
+        assert not core.busy
+        assert core.queue_depth == 0
+
+    def test_max_queue_depth_tracks_peak(self):
+        sim, core = make_core()
+        for _ in range(5):
+            core.submit_call("t", 10.0, lambda: None)
+        # first item started executing immediately; four remain queued
+        assert core.max_queue_depth == 4
+        sim.run()
+
+    def test_snapshot_is_a_copy(self):
+        sim, core = make_core()
+        core.submit_call("t", 10.0, lambda: None)
+        sim.run()
+        snap = core.snapshot()
+        snap["t"] = 0.0
+        assert core.busy_ns["t"] == pytest.approx(10.0)
+
+
+class TestCoreJitter:
+    def test_jitter_requires_rng(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Core(sim, 0, jitter_sigma=0.1)
+
+    def test_jitter_varies_durations(self):
+        sim, core = make_core(jitter=0.2, seed=3)
+        times = []
+        for _ in range(20):
+            core.submit_call("t", 100.0, lambda: times.append(sim.now))
+        sim.run()
+        durations = [b - a for a, b in zip([0.0] + times, times)]
+        assert len(set(round(d, 6) for d in durations)) > 10
+
+    def test_jitter_mean_close_to_one(self):
+        sim, core = make_core(jitter=0.1, seed=5)
+        n = 2000
+        for _ in range(n):
+            core.submit_call("t", 100.0, lambda: None)
+        sim.run()
+        mean_duration = core.total_busy_ns() / n
+        assert mean_duration == pytest.approx(100.0, rel=0.02)
+
+    def test_invalid_speed_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Core(sim, 0, speed=0.0)
+
+    def test_negative_jitter_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Core(sim, 0, jitter_sigma=-0.1)

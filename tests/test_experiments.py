@@ -1,0 +1,131 @@
+"""Smoke tests for the per-figure experiment harnesses (tiny configs)."""
+
+import pytest
+
+from repro.experiments import fig4_motivation, fig7_batch_size, fig8_throughput
+from repro.experiments import fig9_latency, fig10_multiflow, fig11_webserving
+from repro.experiments import fig12_cpu_balance, fig13_memcached
+from repro.experiments.base import ExperimentTable, format_table, group_breakdown
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestBase:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.123]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in out and "0.12" in out
+
+    def test_experiment_table_renders(self):
+        t = ExperimentTable("Title", ["x", "y"])
+        t.add(1, 2.0)
+        t.notes.append("a note")
+        rendered = t.table()
+        assert "Title" in rendered and "note: a note" in rendered
+
+    def test_group_breakdown_collapses_tags(self):
+        grouped = group_breakdown(
+            {"irq:pnic": 0.1, "driver_poll:pnic": 0.2, "vxlan": 0.3, "ip_outer": 0.1}
+        )
+        assert grouped["driver"] == pytest.approx(0.3)
+        assert grouped["vxlan_dev"] == pytest.approx(0.4)
+
+
+class TestFigureModules:
+    def test_fig4_subset(self):
+        res = fig4_motivation.run(
+            quick=True, systems=["native", "vanilla"], message_sizes=[65536]
+        )
+        assert "Fig 4a" in res.table()
+        assert res.raw["tcp"]["native"][65536].throughput_gbps > 0
+
+    def test_fig7_subset(self):
+        res = fig7_batch_size.run(quick=True, batch_sizes=[16, 256])
+        assert res.ooo_packets[16] >= res.ooo_packets[256]
+        assert "Fig 7" in res.table()
+
+    def test_fig8_subset(self):
+        res = fig8_throughput.run(
+            quick=True, systems=["vanilla", "mflow"], message_sizes=[65536]
+        )
+        assert res.gbps("tcp", "mflow") > res.gbps("tcp", "vanilla")
+        assert "tcp" in res.cpu_tables  # Fig 8b breakdown present
+
+    def test_fig9_subset(self):
+        res = fig9_latency.run(
+            quick=True, systems=["vanilla", "mflow"], message_sizes=[65536]
+        )
+        key_v = ("tcp", "vanilla", 65536)
+        key_m = ("tcp", "mflow", 65536)
+        assert res.latencies[key_m].p50_us < res.latencies[key_v].p50_us
+
+    def test_fig10_subset(self):
+        res = fig10_multiflow.run(quick=True, flow_counts=[1, 2], message_sizes=[65536])
+        assert res.gbps("mflow", 65536, 2) > res.gbps("mflow", 65536, 1)
+
+    def test_fig11_subset(self):
+        res = fig11_webserving.run(quick=True, n_users=60, systems=["vanilla", "mflow"])
+        assert res.raw["mflow"].total_success_per_sec() >= 0
+        assert "Fig 11a" in res.table()
+
+    def test_fig12_subset(self):
+        res = fig12_cpu_balance.run(quick=True, systems=["falcon", "mflow"])
+        assert res.stddev["mflow"] < res.stddev["falcon"]
+
+    def test_fig13_subset(self):
+        res = fig13_memcached.run(quick=True, client_counts=[1], systems=["vanilla"])
+        assert res.latency("vanilla", 1).requests_per_sec > 0
+
+
+class TestRunner:
+    def test_all_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "sensitivity", "extensions",
+        }
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+
+class TestSensitivity:
+    def test_baseline_orderings_hold(self):
+        from repro.experiments import sensitivity
+
+        res = sensitivity.run(quick=True, swept=["skb_alloc_ns"], factors=[0.5])
+        # the baseline row and the skb_alloc perturbations must be clean
+        assert not res.violations
+        assert ("baseline", 1.0) in res.raw
+
+    def test_violation_reporting_format(self):
+        from repro.experiments import sensitivity
+
+        # an absurd perturbation that flips an ordering must be reported
+        res = sensitivity.run(quick=True, swept=["copy_per_byte_ns"], factors=[8.0])
+        assert "copy_per_byte_ns" in res.table()
+
+
+class TestExtensions:
+    def test_bottleneck_walks_when_relieved(self):
+        """Relieving the copy thread and the sender (the paper's future
+        work) lets a single flow scale past the paper's configuration."""
+        from repro.experiments import extensions
+
+        res = extensions.run(quick=True)
+        assert res.gbps("+ faster sender") > 1.1 * res.gbps(
+            "paper mflow (2 branches, 1 reader)"
+        )
+
+    def test_parallel_copy_policy_validates(self):
+        import pytest
+
+        from repro.core.config import MflowConfig
+        from repro.cpu.topology import CpuSet
+        from repro.experiments.extensions import ParallelCopyMflowPolicy
+        from repro.sim.engine import Simulator
+
+        with pytest.raises(ValueError):
+            ParallelCopyMflowPolicy(
+                CpuSet(Simulator(), 8), MflowConfig.full_path_tcp(), reader_cores=[]
+            )

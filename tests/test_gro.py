@@ -1,0 +1,138 @@
+"""Unit tests for the GRO stage."""
+
+import pytest
+
+from helpers import Harness, TEST_FLOW, TEST_UDP_FLOW, make_skb
+from repro.netstack.costs import DEFAULT_COSTS
+from repro.netstack.packet import FlowKey, Skb, fragment_message
+from repro.netstack.stages import CountingSink, GroStage
+
+
+def gro_harness(costs=None):
+    sink = CountingSink()
+    h = Harness([GroStage(), sink], mapping={"gro": 1}, costs=costs)
+    return h, sink
+
+
+def tcp_stream_skbs(n, size=1448, flow=TEST_FLOW, msg_frags=64):
+    """n contiguous 1-seg skbs of one large message (no PSH until the end)."""
+    total = size * msg_frags
+    frags = fragment_message(flow, 0, total)
+    return [Skb([frags[i]]) for i in range(n)]
+
+
+class TestGroMerging:
+    def test_merges_consecutive_tcp_segments(self):
+        h, sink = gro_harness()
+        for skb in tcp_stream_skbs(4):
+            h.inject(skb)
+        h.run()
+        # 4 segments < native cap 16 and no PSH: everything held until the
+        # idle-flush timeout, then emitted as one super-skb
+        assert len(sink.received) == 1
+        assert sink.received[0].segs == 4
+
+    def test_cap_flushes_immediately(self):
+        cap = DEFAULT_COSTS.gro_max_segs_native
+        h, sink = gro_harness()
+        for skb in tcp_stream_skbs(cap):
+            h.inject(skb)
+        h.run(until_ns=100.0 * cap + 10)  # well before the flush timeout
+        h.run()
+        assert sink.received[0].segs == cap
+
+    def test_encap_uses_smaller_cap(self):
+        h, sink = gro_harness()
+        frags = fragment_message(TEST_FLOW, 0, 1448 * 64, encap=True)
+        for i in range(DEFAULT_COSTS.gro_max_segs_encap):
+            h.inject(Skb([frags[i]]))
+        h.run()
+        assert sink.received[0].segs == DEFAULT_COSTS.gro_max_segs_encap
+
+    def test_udp_never_merges(self):
+        h, sink = gro_harness()
+        frags = fragment_message(TEST_UDP_FLOW, 0, 1448 * 8)
+        for f in frags[:4]:
+            h.inject(Skb([f]))
+        h.run()
+        assert len(sink.received) == 4
+        assert all(s.segs == 1 for s in sink.received)
+
+    def test_psh_boundary_flushes(self):
+        """GRO never merges across message boundaries (PSH flag)."""
+        h, sink = gro_harness()
+        # two 2-segment messages, contiguous seq space
+        m0 = fragment_message(TEST_FLOW, 0, 2896, start_seq=0)
+        m1 = fragment_message(TEST_FLOW, 1, 2896, start_seq=2896)
+        for f in m0 + m1:
+            h.inject(Skb([f]))
+        h.run()
+        assert [s.segs for s in sink.received] == [2, 2]
+
+    def test_single_segment_message_passes_straight_through(self):
+        h, sink = gro_harness()
+        h.inject(make_skb(size=500))  # 1 frag, PSH set
+        h.run(until_ns=2000.0)
+        assert len(sink.received) == 1
+
+    def test_non_contiguous_seq_not_merged(self):
+        h, sink = gro_harness()
+        stream = fragment_message(TEST_FLOW, 0, 1448 * 8)
+        h.inject(Skb([stream[0]]))
+        h.inject(Skb([stream[2]]))  # gap: segment 1 missing
+        h.run()
+        assert len(sink.received) == 2
+
+    def test_flows_do_not_merge_together(self):
+        other = FlowKey(5, 6, "tcp", 7, 8)
+        h, sink = gro_harness()
+        a = fragment_message(TEST_FLOW, 0, 1448 * 4)
+        b = fragment_message(other, 0, 1448 * 4)
+        h.inject(Skb([a[0]]))
+        h.inject(Skb([b[0]]))
+        h.inject(Skb([a[1]]))
+        h.inject(Skb([b[1]]))
+        h.run()
+        assert len(sink.received) == 2
+        assert all(s.segs == 2 for s in sink.received)
+
+    def test_idle_flush_timeout(self):
+        h, sink = gro_harness()
+        h.inject(tcp_stream_skbs(1)[0])
+        # before timeout: still held
+        h.run(until_ns=DEFAULT_COSTS.gro_flush_timeout_ns / 2)
+        assert sink.received == []
+        h.run()
+        assert len(sink.received) == 1
+
+    def test_gro_cost_charged_per_segment(self):
+        h, sink = gro_harness()
+        for skb in tcp_stream_skbs(4):
+            h.inject(skb)
+        h.run()
+        assert h.cpus[1].busy_ns["gro"] == pytest.approx(4 * DEFAULT_COSTS.gro_per_seg_ns)
+
+    def test_per_core_contexts_do_not_share_state(self):
+        """Two cores processing the same flow must not merge each other's
+        held skbs (per-NAPI GRO contexts)."""
+        sink = CountingSink()
+        gro = GroStage()
+        h = Harness([gro, sink])
+        stream = fragment_message(TEST_FLOW, 0, 1448 * 8)
+        # route alternate packets to different cores via a branch-aware map
+        skb_a, skb_b = Skb([stream[0]]), Skb([stream[1]])
+
+        class AltPolicy(type(h.policy)):
+            pass
+
+        # simpler: drive the stage directly through two contexts
+        from repro.netstack.stages import StageContext
+
+        node = h.pipeline.find_node("gro")
+        ctx1 = StageContext(h.pipeline, node, h.cpus[1])
+        ctx2 = StageContext(h.pipeline, node, h.cpus[2])
+        out1 = gro.process(skb_a, ctx1)
+        out2 = gro.process(skb_b, ctx2)
+        # neither merged into the other despite contiguous seqs
+        assert out1 == [] and out2 == []
+        assert gro.held_count() == 2

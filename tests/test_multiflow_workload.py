@@ -1,0 +1,85 @@
+"""Integration tests for the multi-flow experiments (Fig. 10/12 claims)."""
+
+import pytest
+
+from repro.workloads.multiflow import (
+    APP_CORES,
+    KERNEL_POOL,
+    MULTIFLOW_SYSTEMS,
+    build_multiflow_scenario,
+    kernel_pool_utilization,
+    multiflow_policy_factory,
+    run_multiflow,
+    utilization_stddev,
+)
+
+WARM = 1e6
+MEAS = 3e6
+
+
+class TestBuild:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            multiflow_policy_factory("bogus")
+
+    def test_needs_positive_flows(self):
+        with pytest.raises(ValueError):
+            build_multiflow_scenario("vanilla", 0, 65536)
+
+    def test_flow_count_respected(self):
+        sc = build_multiflow_scenario("mflow", 5, 65536)
+        assert len(sc._senders) == 5
+
+    def test_nic_is_multiqueue_over_pool(self):
+        sc = build_multiflow_scenario("vanilla", 2, 65536)
+        assert sc.nic.n_queues == len(KERNEL_POOL)
+
+
+class TestScaling:
+    def test_aggregate_grows_with_flows(self):
+        t1 = run_multiflow("vanilla", 1, 65536, warmup_ns=WARM, measure_ns=MEAS)
+        t5 = run_multiflow("vanilla", 5, 65536, warmup_ns=WARM, measure_ns=MEAS)
+        assert t5.throughput_gbps > 2.5 * t1.throughput_gbps
+
+    def test_small_messages_scale_linearly(self):
+        """16 B flows are client-bound, so N flows ≈ N × one flow."""
+        t1 = run_multiflow("mflow", 1, 16, warmup_ns=WARM, measure_ns=MEAS)
+        t4 = run_multiflow("mflow", 4, 16, warmup_ns=WARM, measure_ns=MEAS)
+        assert t4.throughput_gbps == pytest.approx(4 * t1.throughput_gbps, rel=0.15)
+
+    def test_mflow_single_flow_advantage(self):
+        van = run_multiflow("vanilla", 1, 65536, warmup_ns=WARM, measure_ns=MEAS)
+        mfl = run_multiflow("mflow", 1, 65536, warmup_ns=WARM, measure_ns=MEAS)
+        assert mfl.throughput_gbps > 1.3 * van.throughput_gbps
+
+    def test_all_systems_run_at_ten_flows(self):
+        for system in MULTIFLOW_SYSTEMS:
+            res = run_multiflow(system, 10, 65536, warmup_ns=WARM, measure_ns=MEAS)
+            assert res.throughput_gbps > 20.0
+
+
+class TestBalance:
+    def test_pool_utilization_has_ten_entries(self):
+        res = run_multiflow("mflow", 4, 65536, warmup_ns=WARM, measure_ns=MEAS)
+        assert len(kernel_pool_utilization(res)) == len(KERNEL_POOL)
+
+    def test_stddev_nonnegative(self):
+        res = run_multiflow("falcon", 4, 65536, warmup_ns=WARM, measure_ns=MEAS)
+        assert utilization_stddev(res) >= 0.0
+
+    def test_mflow_more_balanced_than_falcon_roundrobin(self):
+        """Fig. 12's claim in the non-saturated round-robin regime."""
+        f = run_multiflow(
+            "falcon", 8, 65536, warmup_ns=WARM, measure_ns=MEAS, placement="round-robin"
+        )
+        m = run_multiflow(
+            "mflow", 8, 65536, warmup_ns=WARM, measure_ns=MEAS, placement="round-robin"
+        )
+        assert utilization_stddev(m) < utilization_stddev(f)
+
+    def test_app_cores_do_kernel_no_work(self):
+        res = run_multiflow("mflow", 4, 65536, warmup_ns=WARM, measure_ns=MEAS)
+        for idx in APP_CORES:
+            breakdown = res.cpu_breakdown[idx]
+            assert "vxlan" not in breakdown
+            assert "skb_alloc" not in breakdown

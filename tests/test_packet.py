@@ -1,0 +1,131 @@
+"""Unit tests for packet/skb structures and fragmentation."""
+
+import pytest
+
+from repro.netstack.packet import (
+    MAX_SEGMENT_PAYLOAD,
+    MTU,
+    VXLAN_OVERHEAD,
+    FlowKey,
+    Packet,
+    Skb,
+    fragment_message,
+)
+
+FLOW = FlowKey(1, 2, "tcp", 1000, 2000)
+
+
+class TestPacket:
+    def test_positive_payload_required(self):
+        with pytest.raises(ValueError):
+            Packet(FLOW, 0)
+
+    def test_wire_bytes_includes_headers(self):
+        pkt = Packet(FLOW, MAX_SEGMENT_PAYLOAD)
+        assert pkt.wire_bytes == MTU
+
+    def test_wire_bytes_includes_encap_overhead(self):
+        plain = Packet(FLOW, 100)
+        encap = Packet(FLOW, 100, encap=True)
+        assert encap.wire_bytes - plain.wire_bytes == VXLAN_OVERHEAD
+
+    def test_defaults(self):
+        pkt = Packet(FLOW, 10)
+        assert pkt.frag_count == 1
+        assert pkt.wire_seq == -1
+        assert pkt.messages_completed == 0
+
+
+class TestFragmentation:
+    def test_small_message_single_fragment(self):
+        frags = fragment_message(FLOW, 0, 100)
+        assert len(frags) == 1
+        assert frags[0].payload == 100
+        assert frags[0].messages_completed == 1
+
+    def test_exact_mss_single_fragment(self):
+        frags = fragment_message(FLOW, 0, MAX_SEGMENT_PAYLOAD)
+        assert len(frags) == 1
+
+    def test_64k_message_fragment_count(self):
+        size = 64 * 1024
+        frags = fragment_message(FLOW, 0, size)
+        assert len(frags) == (size + MAX_SEGMENT_PAYLOAD - 1) // MAX_SEGMENT_PAYLOAD
+        assert sum(f.payload for f in frags) == size
+
+    def test_sequence_numbers_contiguous(self):
+        frags = fragment_message(FLOW, 0, 5000, start_seq=100)
+        assert frags[0].seq == 100
+        for a, b in zip(frags, frags[1:]):
+            assert b.seq == a.seq + a.payload
+
+    def test_frag_indices_and_count(self):
+        frags = fragment_message(FLOW, 7, 4000)
+        assert [f.frag_index for f in frags] == list(range(len(frags)))
+        assert all(f.frag_count == len(frags) for f in frags)
+        assert all(f.msg_id == 7 for f in frags)
+
+    def test_only_last_fragment_completes_message(self):
+        frags = fragment_message(FLOW, 0, 4000)
+        assert [f.messages_completed for f in frags] == [0] * (len(frags) - 1) + [1]
+
+    def test_encap_flag_propagates(self):
+        frags = fragment_message(FLOW, 0, 3000, encap=True)
+        assert all(f.encap for f in frags)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            fragment_message(FLOW, 0, 0)
+
+
+class TestSkb:
+    def test_requires_packets(self):
+        with pytest.raises(ValueError):
+            Skb([])
+
+    def test_segs_and_bytes(self):
+        frags = fragment_message(FLOW, 0, 3000)
+        skb = Skb(frags)
+        assert skb.segs == len(frags)
+        assert skb.payload_bytes == 3000
+
+    def test_seq_and_end_seq(self):
+        frags = fragment_message(FLOW, 0, 3000, start_seq=50)
+        skb = Skb(frags)
+        assert skb.seq == 50
+        assert skb.end_seq == 50 + 3000
+
+    def test_can_merge_contiguous_same_flow(self):
+        a = Skb(fragment_message(FLOW, 0, 1448, start_seq=0))
+        b = Skb(fragment_message(FLOW, 1, 1448, start_seq=1448))
+        assert a.can_merge(b, max_segs=16)
+
+    def test_cannot_merge_gap(self):
+        a = Skb(fragment_message(FLOW, 0, 1448, start_seq=0))
+        b = Skb(fragment_message(FLOW, 1, 1448, start_seq=2000))
+        assert not a.can_merge(b, max_segs=16)
+
+    def test_cannot_merge_other_flow(self):
+        other = FlowKey(9, 9, "tcp", 1, 2)
+        a = Skb(fragment_message(FLOW, 0, 1448, start_seq=0))
+        b = Skb(fragment_message(other, 0, 1448, start_seq=1448))
+        assert not a.can_merge(b, max_segs=16)
+
+    def test_cannot_merge_past_cap(self):
+        a = Skb(fragment_message(FLOW, 0, 1448 * 4, start_seq=0))
+        b = Skb(fragment_message(FLOW, 1, 1448, start_seq=1448 * 4))
+        assert not a.can_merge(b, max_segs=4)
+        assert a.can_merge(b, max_segs=5)
+
+    def test_merge_extends(self):
+        a = Skb(fragment_message(FLOW, 0, 1448, start_seq=0))
+        b = Skb(fragment_message(FLOW, 1, 1448, start_seq=1448))
+        a.merge(b)
+        assert a.segs == 2
+        assert a.end_seq == 2896
+
+    def test_mflow_fields_default_none(self):
+        skb = Skb(fragment_message(FLOW, 0, 100))
+        assert skb.microflow_id is None
+        assert skb.branch is None
+        assert skb.flow_serial is None

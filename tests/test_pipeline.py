@@ -1,0 +1,130 @@
+"""Unit tests for the pipeline dispatcher."""
+
+import pytest
+
+from helpers import Harness, MapPolicy, TEST_FLOW, TEST_UDP_FLOW, make_skb
+from repro.netstack.costs import DEFAULT_COSTS
+from repro.netstack.pipeline import link_nodes
+from repro.netstack.stages import CountingSink, PassthroughStage
+
+
+def two_stage_harness(mapping=None, costs=None):
+    sink = CountingSink()
+    stages = [PassthroughStage("s1", "ip_rcv_ns"), PassthroughStage("s2", "bridge_fwd_ns"), sink]
+    return Harness(stages, mapping=mapping, costs=costs), sink
+
+
+class TestDispatch:
+    def test_skb_walks_all_stages(self):
+        h, sink = two_stage_harness()
+        h.inject(make_skb())
+        h.run()
+        assert len(sink.received) == 1
+
+    def test_stage_cost_charged_to_mapped_core(self):
+        h, sink = two_stage_harness(mapping={"s1": 1, "s2": 2})
+        h.inject(make_skb())
+        h.run()
+        assert h.cpus[1].busy_ns["s1"] > 0
+        assert h.cpus[2].busy_ns["s2"] > 0
+
+    def test_cross_core_handoff_charged(self):
+        h, sink = two_stage_harness(mapping={"s1": 1, "s2": 2, "sink": 2})
+        h.inject(make_skb())
+        h.run()
+        # s2 cost on core2 includes the handoff penalty
+        expected = DEFAULT_COSTS.bridge_fwd_ns + DEFAULT_COSTS.handoff_cost_ns
+        assert h.cpus[2].busy_ns["s2"] == pytest.approx(expected)
+        # the dispatching side paid the steer-dispatch cost
+        assert h.cpus[1].busy_ns["steer_dispatch"] == pytest.approx(
+            DEFAULT_COSTS.steer_dispatch_ns
+        )
+        assert h.telemetry.get("handoffs") == 1
+
+    def test_same_core_no_handoff(self):
+        h, sink = two_stage_harness(mapping={"s1": 1, "s2": 1})
+        h.inject(make_skb())
+        h.run()
+        assert h.cpus[1].busy_ns["s2"] == pytest.approx(DEFAULT_COSTS.bridge_fwd_ns)
+        assert h.telemetry.get("handoffs") == 0
+
+    def test_order_preserved_same_core(self):
+        h, sink = two_stage_harness(mapping={"s1": 1, "s2": 1})
+        for i in range(10):
+            h.inject(make_skb(msg_id=i, start_seq=i * 2000))
+        h.run()
+        assert [s.head.msg_id for s in sink.received] == list(range(10))
+
+    def test_order_preserved_across_cores(self):
+        h, sink = two_stage_harness(mapping={"s1": 1, "s2": 2})
+        for i in range(10):
+            h.inject(make_skb(msg_id=i, start_seq=i * 2000))
+        h.run()
+        assert [s.head.msg_id for s in sink.received] == list(range(10))
+
+    def test_inject_none_node_is_noop(self):
+        h, sink = two_stage_harness()
+        h.pipeline.inject(None, make_skb(), None)
+        h.run()
+        assert sink.received == []
+
+    def test_backlog_limit_drops_droppable(self):
+        costs = DEFAULT_COSTS.with_overrides(backlog_limit=5)
+        h, sink = two_stage_harness(costs=costs)
+        for i in range(50):
+            h.inject(make_skb(flow=TEST_UDP_FLOW, msg_id=i))
+        h.run()
+        assert h.telemetry.get("backlog_drops") > 0
+        assert len(sink.received) < 50
+
+    def test_non_droppable_stage_never_drops(self):
+        costs = DEFAULT_COSTS.with_overrides(backlog_limit=2)
+        sink = CountingSink()
+        s1 = PassthroughStage("s1", "ip_rcv_ns", droppable=False)
+        s2 = PassthroughStage("s2", "bridge_fwd_ns", droppable=False)
+        h = Harness([s1, s2, sink], costs=costs)
+        for i in range(50):
+            h.inject(make_skb(msg_id=i))
+        h.run()
+        assert len(sink.received) == 50
+
+    def test_run_to_completion_front_continuation(self):
+        """On one core, packet A finishes all stages before packet B starts
+        its second stage (softirq run-to-completion)."""
+        order = []
+
+        class Tracer(PassthroughStage):
+            def process(self, skb, ctx):
+                order.append((self.name, skb.head.msg_id))
+                return [skb]
+
+        stages = [Tracer("t1", "ip_rcv_ns"), Tracer("t2", "bridge_fwd_ns"), CountingSink()]
+        h = Harness(stages, mapping={"t1": 1, "t2": 1})
+        h.inject(make_skb(msg_id=0))
+        h.inject(make_skb(msg_id=1, start_seq=5000))
+        h.run()
+        assert order == [("t1", 0), ("t2", 0), ("t1", 1), ("t2", 1)]
+
+
+class TestTopologyHelpers:
+    def test_link_nodes_chains(self):
+        stages = [PassthroughStage("a", "ip_rcv_ns"), PassthroughStage("b", "ip_rcv_ns")]
+        head = link_nodes(stages)
+        assert head.stage.name == "a"
+        assert head.next.stage.name == "b"
+        assert head.next.next is None
+
+    def test_link_nodes_empty_rejected(self):
+        with pytest.raises(ValueError):
+            link_nodes([])
+
+    def test_stage_names_and_find_node(self):
+        h, sink = two_stage_harness()
+        assert h.pipeline.stage_names() == ["s1", "s2", "sink"]
+        assert h.pipeline.find_node("s2").stage.name == "s2"
+        with pytest.raises(KeyError):
+            h.pipeline.find_node("nope")
+
+    def test_total_drops(self):
+        h, _ = two_stage_harness()
+        assert h.pipeline.total_drops() == 0

@@ -1,0 +1,141 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, SimEvent, Timeout, WaitEvent, spawn
+
+
+def test_process_timeout_sequence():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield Timeout(100.0)
+        trace.append(sim.now)
+        yield Timeout(50.0)
+        trace.append(sim.now)
+
+    spawn(sim, proc())
+    sim.run()
+    assert trace == [0.0, 100.0, 150.0]
+
+
+def test_process_done_event_carries_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(10.0)
+        return 42
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.finished
+    assert p.done.value == 42
+
+
+def test_process_waits_on_event_value():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append(value)
+
+    def trigger():
+        yield Timeout(30.0)
+        ev.trigger("payload")
+
+    spawn(sim, waiter())
+    spawn(sim, trigger())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_wait_event_wrapper_equivalent():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    got = []
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        got.append(value)
+
+    spawn(sim, waiter())
+    sim.call_in(5.0, ev.trigger, "x")
+    sim.run()
+    assert got == ["x"]
+
+
+def test_waiting_on_triggered_event_resumes_immediately():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    ev.trigger("early")
+    got = []
+
+    def waiter():
+        value = yield ev
+        got.append((sim.now, value))
+
+    spawn(sim, waiter())
+    sim.run()
+    assert got == [(0.0, "early")]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    ev.trigger()
+    with pytest.raises(RuntimeError):
+        ev.trigger()
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+    trace = []
+
+    def child():
+        yield Timeout(100.0)
+        return "done"
+
+    def parent():
+        result = yield spawn(sim, child())
+        trace.append((sim.now, result))
+
+    spawn(sim, parent())
+    sim.run()
+    assert trace == [(100.0, "done")]
+
+
+def test_multiple_waiters_all_wake():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    woken = []
+
+    def waiter(i):
+        yield ev
+        woken.append(i)
+
+    for i in range(5):
+        spawn(sim, waiter(i))
+    sim.call_in(10.0, ev.trigger)
+    sim.run()
+    assert sorted(woken) == [0, 1, 2, 3, 4]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-5.0)
+
+
+def test_yielding_garbage_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "not a wait descriptor"
+
+    spawn(sim, bad())
+    with pytest.raises(TypeError):
+        sim.run()

@@ -1,0 +1,82 @@
+"""Unit tests for RNG streams and unit helpers."""
+
+import pytest
+
+from repro.sim.rng import RngStreams
+from repro.sim.units import (
+    GBPS,
+    MSEC,
+    SEC,
+    USEC,
+    bits_to_bytes,
+    gbps,
+    ns_per_byte_at_gbps,
+)
+
+
+class TestRngStreams:
+    def test_same_name_same_generator_instance(self):
+        rngs = RngStreams(seed=7)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(seed=42).stream("jitter").standard_normal(8)
+        b = RngStreams(seed=42).stream("jitter").standard_normal(8)
+        assert (a == b).all()
+
+    def test_streams_are_order_independent(self):
+        one = RngStreams(seed=1)
+        one.stream("x")
+        x_then_y = one.stream("y").standard_normal(4)
+        two = RngStreams(seed=1)
+        y_first = two.stream("y").standard_normal(4)
+        assert (x_then_y == y_first).all()
+
+    def test_different_names_differ(self):
+        rngs = RngStreams(seed=1)
+        a = rngs.stream("a").standard_normal(16)
+        b = rngs.stream("b").standard_normal(16)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).stream("s").standard_normal(16)
+        b = RngStreams(seed=2).stream("s").standard_normal(16)
+        assert not (a == b).all()
+
+    def test_contains(self):
+        rngs = RngStreams()
+        assert "x" not in rngs
+        rngs.stream("x")
+        assert "x" in rngs
+
+
+class TestUnits:
+    def test_time_constants(self):
+        assert USEC == 1e3
+        assert MSEC == 1e6
+        assert SEC == 1e9
+
+    def test_gbps_round_trip(self):
+        # 125 MB over 10 ms = 100 Gbps
+        assert gbps(125_000_000, 10 * MSEC) == pytest.approx(100.0)
+
+    def test_gbps_one_byte_per_ns_is_8gbps(self):
+        assert gbps(1000, 1000) == pytest.approx(8.0)
+
+    def test_gbps_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            gbps(1, 0)
+
+    def test_ns_per_byte(self):
+        # at 100 Gbps a byte takes 0.08 ns
+        assert ns_per_byte_at_gbps(100.0) == pytest.approx(0.08)
+
+    def test_ns_per_byte_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ns_per_byte_at_gbps(0)
+
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(80) == 10.0
+
+    def test_gbps_constant_is_bytes_per_ns(self):
+        assert GBPS == pytest.approx(0.125)

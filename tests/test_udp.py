@@ -1,0 +1,173 @@
+"""Unit tests for UDP receive/deliver stages and the UDP sender."""
+
+import pytest
+
+from helpers import Harness, TEST_UDP_FLOW, make_skb
+from repro.netstack.costs import DEFAULT_COSTS
+from repro.netstack.packet import FlowKey, Skb, fragment_message
+from repro.netstack.protocol.udp import (
+    REASSEMBLY_WINDOW,
+    UdpDeliverStage,
+    UdpReceiverStage,
+    UdpSender,
+)
+
+
+def deliver_harness():
+    deliver = UdpDeliverStage()
+    h = Harness([UdpReceiverStage(), deliver], mapping={"udp_rcv": 1, "udp_deliver": 0})
+    h.telemetry.start_window()
+    return h, deliver
+
+
+def frags_of(size, msg_id=0, flow=TEST_UDP_FLOW):
+    return [Skb([f]) for f in fragment_message(flow, msg_id, size)]
+
+
+class TestUdpDeliver:
+    def test_single_fragment_datagram_delivered(self):
+        h, deliver = deliver_harness()
+        h.inject(frags_of(500)[0])
+        h.run()
+        assert h.telemetry.get("udp_delivered_messages") == 1
+        assert h.telemetry.get("udp_delivered_bytes") == 500
+
+    def test_multi_fragment_datagram_complete(self):
+        h, deliver = deliver_harness()
+        for skb in frags_of(10_000):
+            h.inject(skb)
+        h.run()
+        assert h.telemetry.get("udp_delivered_messages") == 1
+        assert h.telemetry.get("udp_delivered_bytes") == 10_000
+
+    def test_missing_fragment_means_no_delivery(self):
+        h, deliver = deliver_harness()
+        skbs = frags_of(10_000)
+        for skb in skbs[:-1]:  # drop the last fragment
+            h.inject(skb)
+        h.run()
+        assert h.telemetry.get("udp_delivered_messages") == 0
+
+    def test_out_of_order_fragments_still_complete(self):
+        h, deliver = deliver_harness()
+        skbs = frags_of(5_000)
+        for skb in reversed(skbs):
+            h.inject(skb)
+        h.run()
+        assert h.telemetry.get("udp_delivered_messages") == 1
+        assert h.telemetry.get("udp_delivered_bytes") == 5_000
+
+    def test_duplicate_fragment_ignored(self):
+        h, deliver = deliver_harness()
+        skbs = frags_of(4_000)
+        h.inject(skbs[0])
+        h.inject(Skb(fragment_message(TEST_UDP_FLOW, 0, 4_000)[:1]))  # dup of frag 0
+        for skb in skbs[1:]:
+            h.inject(skb)
+        h.run()
+        assert h.telemetry.get("udp_delivered_messages") == 1
+        assert h.telemetry.get("udp_dup_fragments") == 1
+
+    def test_reassembly_window_evicts_oldest(self):
+        h, deliver = deliver_harness()
+        # open REASSEMBLY_WINDOW+1 incomplete datagrams
+        for msg in range(REASSEMBLY_WINDOW + 1):
+            h.inject(frags_of(5_000, msg_id=msg)[0])
+        h.run()
+        assert deliver.incomplete_evicted == 1
+        assert h.telemetry.get("udp_datagrams_expired") == 1
+
+    def test_latency_recorded_per_datagram(self):
+        h, deliver = deliver_harness()
+        for skb in frags_of(3_000):
+            for p in skb.packets:
+                p.send_ts = 0.0
+            h.inject(skb)
+        h.run()
+        assert len(h.telemetry.sample_list("udp_msg_latency_ns")) == 1
+
+    def test_interleaved_flows_reassemble_independently(self):
+        other = FlowKey(7, 2, "udp", 9, 9)
+        h, deliver = deliver_harness()
+        a = frags_of(4_000)
+        b = frags_of(4_000, flow=other)
+        for x, y in zip(a, b):
+            h.inject(x)
+            h.inject(y)
+        h.run()
+        assert h.telemetry.get("udp_delivered_messages") == 2
+
+
+class _FakeWire:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, pkt):
+        self.sent.append(pkt)
+
+
+class TestUdpSender:
+    def _make(self, sim, message_size=4096, **kw):
+        from repro.cpu.core import Core
+        from repro.metrics.telemetry import Telemetry
+
+        wire = _FakeWire()
+        sender = UdpSender(
+            sim,
+            DEFAULT_COSTS,
+            TEST_UDP_FLOW,
+            message_size,
+            wire,
+            app_core=Core(sim, 0),
+            kernel_core=Core(sim, 1),
+            telemetry=Telemetry(sim),
+            **kw,
+        )
+        return sender, wire
+
+    def test_open_loop_sends_continuously(self, sim):
+        sender, wire = self._make(sim)
+        sender.start()
+        sim.run(until_ns=1e6)
+        assert sender.messages_sent > 1
+
+    def test_fragments_paced_by_kernel_work(self, sim):
+        sender, wire = self._make(sim, message_size=1448 * 4)
+        sender.start()
+        sim.run(until_ns=1e5)
+        times = [p.arrival_ts for p in wire.sent]  # not set; use count spacing
+        # fragments leave one per kernel work item, so wire sees them
+        # spread over time rather than as one burst
+        assert len(wire.sent) >= 2
+
+    def test_max_messages_stops(self, sim):
+        sender, wire = self._make(sim, max_messages=3)
+        sender.start()
+        sim.run(until_ns=1e7)
+        assert sender.messages_sent == 3
+
+    def test_stop_halts_sending(self, sim):
+        sender, wire = self._make(sim)
+        sender.start()
+        sim.run(until_ns=1e5)
+        sender.stop()
+        count = sender.messages_sent
+        sim.run(until_ns=2e5)
+        assert sender.messages_sent <= count + 1  # at most the in-flight one
+
+    def test_interval_rate_limits(self, sim):
+        sender, wire = self._make(sim, message_size=100, interval_ns=50_000.0)
+        sender.start()
+        sim.run(until_ns=1e6)
+        # ~1e6/5e4 = 20 messages at the configured rate
+        assert 15 <= sender.messages_sent <= 21
+
+    def test_encap_flag_and_cost(self, sim):
+        sender, wire = self._make(sim, message_size=100, encap=True)
+        sender.start()
+        sim.run(until_ns=1e5)
+        assert all(p.encap for p in wire.sent)
+
+    def test_rejects_nonpositive_message(self, sim):
+        with pytest.raises(ValueError):
+            self._make(sim, message_size=-1)
