@@ -10,6 +10,13 @@ reproduction harness.
 import pytest
 
 
+@pytest.fixture(autouse=True)
+def _isolated_results(tmp_path, monkeypatch):
+    """Run each benchmark from a scratch directory so any engine artifacts
+    (a relative ``results/`` root) never pollute the repository."""
+    monkeypatch.chdir(tmp_path)
+
+
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -17,6 +17,7 @@ upper bounds (no simulation).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -47,6 +48,13 @@ def cmd_throughput(args) -> int:
         args.system, args.proto, args.size, seed=args.seed,
         batch_size=args.batch, n_split_cores=args.split_cores, **_windows(args),
     )
+    if args.json:
+        from repro.runner import scenario_result_to_dict
+
+        out = scenario_result_to_dict(res)
+        out.update(system=args.system, proto=args.proto, size=args.size)
+        print(json.dumps(out, indent=1))
+        return 0
     print(f"{args.system} {args.proto} {args.size}B: {res.throughput_gbps:.2f} Gbps")
     print(f"  messages: {res.messages_delivered}   latency: {res.latency}")
     print("  core utilization: " + " ".join(f"{u * 100:.0f}%" for u in res.cpu_utilization))
@@ -58,7 +66,7 @@ def cmd_throughput(args) -> int:
 def cmd_latency(args) -> int:
     from repro.experiments import fig9_latency
 
-    res = fig9_latency._run_cell(args.system, args.proto, args.size, None, quick=False)
+    res = fig9_latency.run_cell(args.system, args.proto, args.size, quick=False)
     print(
         f"{args.system} {args.proto} {args.size}B under ~max pre-drop load: "
         f"p50={res.latency.p50_us:.1f}us p99={res.latency.p99_us:.1f}us "
@@ -90,12 +98,30 @@ def cmd_memcached(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    data = {}
-    for system in SYSTEMS:
-        res = run_single_flow(
-            system, args.proto, args.size, seed=args.seed, **_windows(args)
+    from repro.runner import RunEngine, RunSpec
+
+    specs = [
+        RunSpec.make(
+            "sockperf",
+            {"system": system, "proto": args.proto, "size": args.size},
+            seed=args.seed,
+            tags=("compare", system, args.proto, str(args.size)),
+            **_windows(args),
         )
-        data[system] = res.throughput_gbps
+        for system in SYSTEMS
+    ]
+    engine = RunEngine(
+        jobs=args.jobs,
+        results_dir=args.results_dir,
+        use_cache=not args.no_cache,
+    )
+    records = engine.run("compare", specs)
+    if args.json:
+        print(json.dumps([r.to_json_dict() for r in records], indent=1))
+        return 0
+    data = {
+        r.params["system"]: r.scenario_result().throughput_gbps for r in records
+    }
     print(bar_chart(data, unit=" Gbps", title=f"{args.proto} {args.size}B single flow"))
     return 0
 
@@ -128,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=65536)
     p.add_argument("--batch", type=int, default=256)
     p.add_argument("--split-cores", type=int, default=2)
+    p.add_argument("--json", action="store_true", help="emit the run record as JSON")
     _add_common(p)
     p.set_defaults(fn=cmd_throughput)
 
@@ -154,6 +181,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="all five systems side by side")
     p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
     p.add_argument("--size", type=int, default=65536)
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count; 1 = in-process serial)",
+    )
+    p.add_argument("--json", action="store_true", help="emit run records as JSON")
+    p.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    p.add_argument(
+        "--results-dir", default="results", help="artifact root (default ./results)"
+    )
     _add_common(p)
     p.set_defaults(fn=cmd_compare)
 

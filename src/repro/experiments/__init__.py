@@ -1,9 +1,18 @@
 """Per-figure experiment harnesses.
 
 One module per table/figure in the paper's evaluation (see DESIGN.md's
-per-experiment index).  Each module exposes ``run(quick=...)`` returning
-a result object with a ``table()`` text rendering, and the package-level
-``run_all`` drives everything (``python -m repro.experiments``).
+per-experiment index).  Each module is declarative:
+
+* ``specs(quick=...)`` — the figure's cells as a list of
+  :class:`repro.runner.RunSpec` (no execution);
+* ``reduce(records)`` — pure reduction of engine records into the
+  figure's result object (with a ``table()`` text rendering);
+* ``run(quick=..., engine=...)`` — convenience composition of the two,
+  serial and artifact-free unless given a configured
+  :class:`repro.runner.RunEngine`.
+
+``python -m repro.experiments`` drives everything through one engine
+(``--jobs``, ``--json``, ``--no-cache``; see ``runner.py``).
 """
 
 from repro.experiments.base import ExperimentTable, format_table

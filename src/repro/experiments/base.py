@@ -1,9 +1,22 @@
-"""Shared experiment plumbing: table rendering and CPU-tag grouping."""
+"""Shared experiment plumbing.
+
+Table rendering, CPU-tag grouping, and the glue between the per-figure
+modules and :mod:`repro.runner`: every experiment module exposes
+
+* ``specs(quick, ...) -> list[RunSpec]`` — the declarative sweep;
+* ``reduce(records) -> <FigureResult>`` — a pure reduction of the
+  engine's records into the figure's tables;
+* ``run(...)`` — convenience ``reduce(execute(specs(...)))`` keeping the
+  historical call signature (serial and artifact-free by default; pass
+  ``engine=RunEngine(...)`` to parallelize, cache, and emit artifacts).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
+
+from repro.runner import RunEngine, RunRecord, RunSpec, run_specs
 
 #: measurement windows (ns) for full and quick runs
 FULL_WARMUP_NS = 2_000_000.0
@@ -17,6 +30,25 @@ def windows(quick: bool) -> Dict[str, float]:
     if quick:
         return {"warmup_ns": QUICK_WARMUP_NS, "measure_ns": QUICK_MEASURE_NS}
     return {"warmup_ns": FULL_WARMUP_NS, "measure_ns": FULL_MEASURE_NS}
+
+
+def execute(
+    experiment: str,
+    specs: Sequence[RunSpec],
+    engine: Optional[RunEngine] = None,
+) -> List[RunRecord]:
+    """Run a figure's specs (serial in-process unless an engine is given)."""
+    return run_specs(experiment, specs, engine=engine)
+
+
+def size_label(size: int) -> str:
+    """The paper's axis labels: ``16B``, ``4KB``, ``64KB`` ..."""
+    return f"{size // 1024}KB" if size >= 1024 else f"{size}B"
+
+
+def ordered_unique(values: Sequence) -> List:
+    """Order-preserving dedupe (used to recover sweep axes from records)."""
+    return list(dict.fromkeys(values))
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

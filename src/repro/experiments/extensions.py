@@ -20,19 +20,36 @@ Run: ``python -m repro.experiments.extensions``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.config import MflowConfig
 from repro.core.mflow import MflowPolicy
-from repro.experiments.base import ExperimentTable, windows
-from repro.netstack.costs import DEFAULT_COSTS, CostModel
+from repro.experiments.base import ExperimentTable, execute, windows
+from repro.netstack.costs import CostModel
 from repro.netstack.packet import Skb
 from repro.overlay.topology import DatapathKind
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_from_params, costs_to_overrides
 from repro.workloads.scenario import Scenario, ScenarioResult
-from repro.workloads.sockperf import run_single_flow
+
+EXPERIMENT = "extensions"
 
 #: bytes each reader thread copies before the next thread takes over
 COPY_CHUNK_BYTES = 64 * 1024
+
+#: the staircase of configurations, in presentation order
+CONFIGS: List[Dict[str, Any]] = [
+    {"label": "paper mflow (2 branches, 1 reader)",
+     "n_branches": 2, "reader_cores": [0], "fast_sender": False},
+    {"label": "+ 2 reader threads",
+     "n_branches": 2, "reader_cores": [0, 13], "fast_sender": False},
+    {"label": "+ 3 branches, 2 readers",
+     "n_branches": 3, "reader_cores": [0, 13], "fast_sender": False},
+    {"label": "+ 3 branches, 3 readers",
+     "n_branches": 3, "reader_cores": [0, 12, 13], "fast_sender": False},
+    {"label": "+ faster sender",
+     "n_branches": 3, "reader_cores": [0, 12, 13], "fast_sender": True},
+]
 
 
 class ParallelCopyMflowPolicy(MflowPolicy):
@@ -62,6 +79,7 @@ def _mflow_scenario(
     reader_cores,
     costs: Optional[CostModel] = None,
     n_cores: int = 14,
+    seed: int = 0,
 ) -> Scenario:
     alloc = list(range(2, 2 + n_branches))
     rest = list(range(2 + n_branches, 2 + 2 * n_branches))
@@ -71,10 +89,46 @@ def _mflow_scenario(
         "tcp",
         lambda cpus: ParallelCopyMflowPolicy(cpus, config, reader_cores),
         costs=costs,
+        seed=seed,
         n_receiver_cores=n_cores,
     )
     sc.add_tcp_sender(64 * 1024)
     return sc
+
+
+def extension_factory(
+    params: Dict[str, Any], seed: int, warmup_ns: float, measure_ns: float
+) -> Dict[str, Any]:
+    """One staircase step: the paper's mflow baseline or an extended config."""
+    from repro.runner.records import scenario_result_to_dict
+    from repro.workloads.sockperf import run_single_flow
+
+    costs = costs_from_params(params)
+    if params.get("fast_sender"):
+        base = costs if costs is not None else _default_costs()
+        costs = base.with_overrides(
+            send_per_seg_tcp_ns=base.send_per_seg_tcp_ns / 2,
+            send_syscall_ns=base.send_syscall_ns / 2,
+        )
+    reader_cores = [int(c) for c in params["reader_cores"]]
+    if int(params["n_branches"]) == 2 and reader_cores == [0]:
+        # the paper's own configuration: plain single-reader MFLOW
+        res = run_single_flow(
+            "mflow", "tcp", 64 * 1024, costs=costs, seed=seed,
+            warmup_ns=warmup_ns, measure_ns=measure_ns,
+        )
+    else:
+        sc = _mflow_scenario(
+            int(params["n_branches"]), reader_cores, costs=costs, seed=seed
+        )
+        res = sc.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
+    return scenario_result_to_dict(res)
+
+
+def _default_costs() -> CostModel:
+    from repro.netstack.costs import DEFAULT_COSTS
+
+    return DEFAULT_COSTS
 
 
 @dataclass
@@ -89,16 +143,41 @@ class ExtensionsResult:
         return self.raw[label].throughput_gbps
 
 
-def run(costs: Optional[CostModel] = None, quick: bool = False) -> ExtensionsResult:
-    base = costs if costs is not None else DEFAULT_COSTS
+def specs(
+    quick: bool = False, costs: Optional[CostModel] = None
+) -> List[RunSpec]:
     win = windows(quick)
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for cfg in CONFIGS:
+        params = dict(cfg)
+        if overrides:
+            params["cost_overrides"] = overrides
+        out.append(
+            RunSpec.make(
+                "mflow_extension",
+                params,
+                warmup_ns=win["warmup_ns"],
+                measure_ns=win["measure_ns"],
+                tags=(
+                    EXPERIMENT,
+                    f"{cfg['n_branches']}branches",
+                    f"{len(cfg['reader_cores'])}readers",
+                ),
+            )
+        )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> ExtensionsResult:
     summary = ExperimentTable(
         "Future-work extensions: single TCP flow beyond the paper's 30 Gbps",
         ["configuration", "gbps", "bottleneck"],
     )
     result = ExtensionsResult(summary=summary)
-
-    def record(label: str, res: ScenarioResult) -> None:
+    for rec in records:
+        label = rec.params["label"]
+        res = rec.scenario_result()
         result.raw[label] = res
         hottest = max(
             range(len(res.cpu_utilization)), key=res.cpu_utilization.__getitem__
@@ -108,30 +187,19 @@ def run(costs: Optional[CostModel] = None, quick: bool = False) -> ExtensionsRes
             res.throughput_gbps,
             f"core{hottest} {res.cpu_utilization[hottest] * 100:.0f}%",
         )
-
-    # paper's configuration: single delivery thread, 2 branches
-    record("paper mflow (2 branches, 1 reader)",
-           run_single_flow("mflow", "tcp", 64 * 1024, costs=base, **win))
-    # future work 1: parallel delivery threads (readers on cores 0 and 13)
-    sc = _mflow_scenario(2, reader_cores=[0, 13], costs=base)
-    record("+ 2 reader threads", sc.run(**win))
-    # future work 1b: wider split once the copy wall is gone
-    sc = _mflow_scenario(3, reader_cores=[0, 13], costs=base)
-    record("+ 3 branches, 2 readers", sc.run(**win))
-    sc = _mflow_scenario(3, reader_cores=[0, 12, 13], costs=base)
-    record("+ 3 branches, 3 readers", sc.run(**win))
-    # future work 2: faster sender (half-cost segmentation), widest config
-    fast_sender = base.with_overrides(
-        send_per_seg_tcp_ns=base.send_per_seg_tcp_ns / 2,
-        send_syscall_ns=base.send_syscall_ns / 2,
-    )
-    sc = _mflow_scenario(3, reader_cores=[0, 12, 13], costs=fast_sender)
-    record("+ faster sender", sc.run(**win))
     summary.notes.append(
         "paper §VII: the single data-copying thread and the sender are the next "
         "bottlenecks; parallelizing delivery lets wider splitting keep scaling"
     )
     return result
+
+
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    engine: Optional[RunEngine] = None,
+) -> ExtensionsResult:
+    return reduce(execute(EXPERIMENT, specs(quick, costs), engine))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -12,11 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.base import ExperimentTable, windows
+from repro.experiments.base import ExperimentTable, execute, size_label, windows
 from repro.netstack.costs import CostModel
-from repro.workloads.multiflow import MULTIFLOW_SYSTEMS, run_multiflow
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_to_overrides
+from repro.workloads.multiflow import MULTIFLOW_SYSTEMS
 from repro.workloads.scenario import ScenarioResult
 
+EXPERIMENT = "fig10"
 FLOW_COUNTS = [1, 2, 5, 10, 15, 20]
 MESSAGE_SIZES = [16, 4096, 65536]
 
@@ -33,30 +36,56 @@ class Fig10Result:
         return self.raw[(system, size, n_flows)].throughput_gbps
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def specs(
     quick: bool = False,
+    costs: Optional[CostModel] = None,
     flow_counts: Optional[List[int]] = None,
     message_sizes: Optional[List[int]] = None,
-) -> Fig10Result:
+) -> List[RunSpec]:
     flow_counts = flow_counts if flow_counts is not None else FLOW_COUNTS
     message_sizes = message_sizes if message_sizes is not None else MESSAGE_SIZES
+    win = windows(quick)
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for size in message_sizes:
+        for n in flow_counts:
+            for system in MULTIFLOW_SYSTEMS:
+                params = {
+                    "system": system,
+                    "n_flows": n,
+                    "size": size,
+                    "placement": "least-loaded",
+                }
+                if overrides:
+                    params["cost_overrides"] = overrides
+                out.append(
+                    RunSpec.make(
+                        "multiflow",
+                        params,
+                        warmup_ns=win["warmup_ns"],
+                        measure_ns=win["measure_ns"],
+                        tags=(EXPERIMENT, system, str(size), f"{n}flows"),
+                    )
+                )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> Fig10Result:
     summary = ExperimentTable(
         "Fig 10: aggregate multi-flow TCP throughput (Gbps), 5 app + 10 kernel cores",
         ["msg_size", "flows"] + list(MULTIFLOW_SYSTEMS),
     )
     result = Fig10Result(summary=summary)
-    win = windows(quick)
-    for size in message_sizes:
-        for n in flow_counts:
-            row: List[object] = [_size_label(size), n]
+    for rec in records:
+        key = (rec.params["system"], rec.params["size"], rec.params["n_flows"])
+        result.raw[key] = rec.scenario_result()
+    sizes = list(dict.fromkeys(r.params["size"] for r in records))
+    flows = list(dict.fromkeys(r.params["n_flows"] for r in records))
+    for size in sizes:
+        for n in flows:
+            row: List[object] = [size_label(size), n]
             for system in MULTIFLOW_SYSTEMS:
-                res = run_multiflow(
-                    system, n, size, costs=costs,
-                    warmup_ns=win["warmup_ns"], measure_ns=win["measure_ns"],
-                )
-                result.raw[(system, size, n)] = res
-                row.append(res.throughput_gbps)
+                row.append(result.raw[(system, size, n)].throughput_gbps)
             summary.add(*row)
     summary.notes.append(
         "paper: 16 B scales linearly (clients bottleneck); MFLOW leads vanilla by ~24% "
@@ -65,8 +94,16 @@ def run(
     return result
 
 
-def _size_label(size: int) -> str:
-    return f"{size // 1024}KB" if size >= 1024 else f"{size}B"
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    flow_counts: Optional[List[int]] = None,
+    message_sizes: Optional[List[int]] = None,
+    engine: Optional[RunEngine] = None,
+) -> Fig10Result:
+    return reduce(
+        execute(EXPERIMENT, specs(quick, costs, flow_counts, message_sizes), engine)
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -8,14 +8,44 @@ paper's three panels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.experiments.base import ExperimentTable
+from repro.experiments.base import ExperimentTable, execute
 from repro.netstack.costs import CostModel
-from repro.workloads.webserving import OP_TYPES, WebServingResult, run_webserving
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_to_overrides
+from repro.workloads.webserving import OP_TYPES
 
+EXPERIMENT = "fig11"
 SYSTEMS = ["vanilla", "falcon", "mflow"]
 N_USERS = 200
+
+
+class WebServingSummary:
+    """Per-op web-serving metrics rebuilt from a run record.
+
+    API-compatible (for reading) with
+    :class:`repro.workloads.webserving.WebServingResult`.
+    """
+
+    def __init__(self, measurements: Dict[str, Any]):
+        self._per_op: Dict[str, Dict[str, float]] = measurements["per_op"]
+        self.system: str = measurements["system"]
+        self.n_users: int = measurements["n_users"]
+        self.window_s: float = measurements["window_s"]
+        self._total = float(measurements["total_success_per_sec"])
+
+    def success_ops_per_sec(self, op: str) -> float:
+        return float(self._per_op[op]["success_per_sec"])
+
+    def total_success_per_sec(self) -> float:
+        return self._total
+
+    def mean_response_us(self, op: str) -> float:
+        return float(self._per_op[op]["mean_response_us"])
+
+    def mean_delay_us(self, op: str) -> float:
+        return float(self._per_op[op]["mean_delay_us"])
 
 
 @dataclass
@@ -23,7 +53,7 @@ class Fig11Result:
     success: ExperimentTable
     response: ExperimentTable
     delay: ExperimentTable
-    raw: Dict[str, WebServingResult] = field(default_factory=dict)
+    raw: Dict[str, WebServingSummary] = field(default_factory=dict)
 
     def table(self) -> str:
         return "\n\n".join(
@@ -31,15 +61,35 @@ class Fig11Result:
         )
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def specs(
     quick: bool = False,
+    costs: Optional[CostModel] = None,
     n_users: int = N_USERS,
     systems: Optional[List[str]] = None,
-) -> Fig11Result:
+) -> List[RunSpec]:
     systems = systems if systems is not None else SYSTEMS
     measure_ns = 6e7 if quick else 2e8
     warmup_ns = 2e7 if quick else 5e7
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for system in systems:
+        params: Dict[str, Any] = {"system": system, "n_users": n_users}
+        if overrides:
+            params["cost_overrides"] = overrides
+        out.append(
+            RunSpec.make(
+                "webserving",
+                params,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                tags=(EXPERIMENT, system, f"{n_users}users"),
+            )
+        )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> Fig11Result:
+    n_users = records[0].params["n_users"] if records else N_USERS
     op_names = [op.name for op in OP_TYPES]
     success = ExperimentTable(
         f"Fig 11a: successful operations/sec ({n_users} users)",
@@ -52,11 +102,10 @@ def run(
         "Fig 11c: mean delay time over target (us)", ["system"] + op_names
     )
     result = Fig11Result(success=success, response=response, delay=delay)
-    for system in systems:
-        res = run_webserving(
-            system, n_users=n_users, costs=costs,
-            warmup_ns=warmup_ns, measure_ns=measure_ns,
-        )
+    for rec in records:
+        assert rec.measurements is not None
+        res = WebServingSummary(rec.measurements)
+        system = rec.params["system"]
         result.raw[system] = res
         success.add(
             system,
@@ -70,6 +119,16 @@ def run(
         "delay time reduced by up to 75%"
     )
     return result
+
+
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    n_users: int = N_USERS,
+    systems: Optional[List[str]] = None,
+    engine: Optional[RunEngine] = None,
+) -> Fig11Result:
+    return reduce(execute(EXPERIMENT, specs(quick, costs, n_users, systems), engine))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

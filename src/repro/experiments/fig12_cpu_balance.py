@@ -14,16 +14,18 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.experiments.base import ExperimentTable, windows
+from repro.experiments.base import ExperimentTable, execute, windows
 from repro.netstack.costs import CostModel
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_to_overrides
 from repro.workloads.multiflow import (
     KERNEL_POOL,
     kernel_pool_utilization,
-    run_multiflow,
     utilization_stddev,
 )
 from repro.workloads.scenario import ScenarioResult
 
+EXPERIMENT = "fig12"
 N_FLOWS = 8
 MESSAGE_SIZE = 65536
 SYSTEMS = ["vanilla", "falcon", "mflow"]
@@ -44,32 +46,55 @@ class Fig12Result:
         return "\n".join(out)
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def specs(
     quick: bool = False,
+    costs: Optional[CostModel] = None,
     n_flows: int = N_FLOWS,
     systems: Optional[List[str]] = None,
     placement: str = "round-robin",
-) -> Fig12Result:
+) -> List[RunSpec]:
     """Defaults to 8 flows with round-robin placement: the non-saturated
     regime where per-core spread is meaningful (with this calibration, 10
     flows pin every pool core at 100% and the spread trivially collapses;
     the paper's testbed had more headroom).  Fig. 10 uses least-loaded
     placement for throughput instead."""
     systems = systems if systems is not None else SYSTEMS
+    win = windows(quick)
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for system in systems:
+        params = {
+            "system": system,
+            "n_flows": n_flows,
+            "size": MESSAGE_SIZE,
+            "placement": placement,
+        }
+        if overrides:
+            params["cost_overrides"] = overrides
+        out.append(
+            RunSpec.make(
+                "multiflow",
+                params,
+                warmup_ns=win["warmup_ns"],
+                measure_ns=win["measure_ns"],
+                tags=(EXPERIMENT, system, f"{n_flows}flows", placement),
+            )
+        )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> Fig12Result:
+    n_flows = records[0].params["n_flows"] if records else N_FLOWS
+    placement = records[0].params["placement"] if records else "round-robin"
     summary = ExperimentTable(
         f"Fig 12: kernel-core load balance, {n_flows} TCP flows x 64 KB"
         f" ({placement} placement)",
         ["system", "gbps", "util_mean_%", "util_std_%", "cpu_cores_per_10gbps"],
     )
     result = Fig12Result(summary=summary)
-    win = windows(quick)
-    for system in systems:
-        res = run_multiflow(
-            system, n_flows, MESSAGE_SIZE, costs=costs,
-            warmup_ns=win["warmup_ns"], measure_ns=win["measure_ns"],
-            placement=placement,
-        )
+    for rec in records:
+        system = rec.params["system"]
+        res = rec.scenario_result()
         utils = kernel_pool_utilization(res)
         std = utilization_stddev(res)
         mean = float(np.mean(utils)) * 100.0
@@ -84,6 +109,19 @@ def run(
     )
     summary.notes.append(f"kernel pool = cores {KERNEL_POOL}")
     return result
+
+
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    n_flows: int = N_FLOWS,
+    systems: Optional[List[str]] = None,
+    placement: str = "round-robin",
+    engine: Optional[RunEngine] = None,
+) -> Fig12Result:
+    return reduce(
+        execute(EXPERIMENT, specs(quick, costs, n_flows, systems, placement), engine)
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -11,10 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.base import ExperimentTable
+from repro.experiments.base import ExperimentTable, execute
 from repro.netstack.costs import CostModel
-from repro.workloads.memcached import MemcachedResult, run_memcached
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_to_overrides
+from repro.runner.records import latency_from_dict
+from repro.workloads.memcached import MemcachedResult
 
+EXPERIMENT = "fig13"
 SYSTEMS = ["vanilla", "falcon", "mflow"]
 CLIENT_COUNTS = [1, 10]
 
@@ -31,33 +35,74 @@ class Fig13Result:
         return self.raw[(system, n_clients)]
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def specs(
     quick: bool = False,
+    costs: Optional[CostModel] = None,
     client_counts: Optional[List[int]] = None,
     systems: Optional[List[str]] = None,
-) -> Fig13Result:
+) -> List[RunSpec]:
     systems = systems if systems is not None else SYSTEMS
     client_counts = client_counts if client_counts is not None else CLIENT_COUNTS
     measure_ns = 8e6 if quick else 2e7
     warmup_ns = 2e6
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for n in client_counts:
+        for system in systems:
+            params = {"system": system, "n_clients": n}
+            if overrides:
+                params["cost_overrides"] = overrides
+            out.append(
+                RunSpec.make(
+                    "memcached",
+                    params,
+                    warmup_ns=warmup_ns,
+                    measure_ns=measure_ns,
+                    tags=(EXPERIMENT, system, f"{n}clients"),
+                )
+            )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> Fig13Result:
     summary = ExperimentTable(
         "Fig 13: Memcached request latency (us), 550 B objects",
         ["clients", "system", "rps", "avg_us", "p99_us"],
     )
     result = Fig13Result(summary=summary)
-    for n in client_counts:
-        for system in systems:
-            res = run_memcached(
-                system, n, costs=costs, warmup_ns=warmup_ns, measure_ns=measure_ns
-            )
-            result.raw[(system, n)] = res
-            summary.add(n, system, res.requests_per_sec, res.latency.mean_us, res.latency.p99_us)
+    for rec in records:
+        assert rec.measurements is not None
+        m = rec.measurements
+        res = MemcachedResult(
+            system=m["system"],
+            n_clients=int(m["n_clients"]),
+            latency=latency_from_dict(m["latency"]),
+            requests_per_sec=float(m["requests_per_sec"]),
+            cpu_utilization=[float(u) for u in m["cpu_utilization"]],
+            events_executed=int(m.get("events_executed", 0)),
+        )
+        result.raw[(res.system, res.n_clients)] = res
+        summary.add(
+            res.n_clients, res.system, res.requests_per_sec,
+            res.latency.mean_us, res.latency.p99_us,
+        )
     summary.notes.append(
         "paper: vs vanilla, MFLOW cuts p99 ~26% at 1 client and avg/p99 ~48%/47% at 10; "
         "vs FALCON, avg -22% / p99 -33%"
     )
     return result
+
+
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    client_counts: Optional[List[int]] = None,
+    systems: Optional[List[str]] = None,
+    engine: Optional[RunEngine] = None,
+) -> Fig13Result:
+    return reduce(
+        execute(EXPERIMENT, specs(quick, costs, client_counts, systems), engine)
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -12,11 +12,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.experiments.base import ExperimentTable, breakdown_row, windows
+from repro.experiments.base import (
+    ExperimentTable,
+    breakdown_row,
+    execute,
+    ordered_unique,
+    size_label,
+    windows,
+)
 from repro.netstack.costs import CostModel
-from repro.workloads.sockperf import build_scenario
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_to_overrides
 from repro.workloads.scenario import ScenarioResult
 
+EXPERIMENT = "fig4"
 SYSTEMS = ["native", "vanilla", "rps", "falcon-dev", "falcon-fun"]
 MESSAGE_SIZES = [16, 1024, 4096, 16384, 65536]
 BREAKDOWN_SIZE = 65536
@@ -37,40 +46,65 @@ class Fig4Result:
         return "\n".join(out)
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def specs(
     quick: bool = False,
+    costs: Optional[CostModel] = None,
     systems: Optional[List[str]] = None,
     message_sizes: Optional[List[int]] = None,
-) -> Fig4Result:
+) -> List[RunSpec]:
     systems = systems if systems is not None else SYSTEMS
     message_sizes = message_sizes if message_sizes is not None else MESSAGE_SIZES
+    win = windows(quick)
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for proto in ("tcp", "udp"):
+        for size in message_sizes:
+            for system in systems:
+                params = {"system": system, "proto": proto, "size": size}
+                if overrides:
+                    params["cost_overrides"] = overrides
+                out.append(
+                    RunSpec.make(
+                        "sockperf",
+                        params,
+                        warmup_ns=win["warmup_ns"],
+                        measure_ns=win["measure_ns"],
+                        tags=(EXPERIMENT, proto, system, str(size)),
+                    )
+                )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> Fig4Result:
+    systems = ordered_unique(r.params["system"] for r in records)
     table = ExperimentTable(
         "Fig 4a: single-flow throughput (Gbps), state-of-the-art parallelization",
         ["proto", "msg_size"] + systems,
     )
     result = Fig4Result(throughput=table)
-    for proto in ("tcp", "udp"):
-        result.raw[proto] = {s: {} for s in systems}
-        for size in message_sizes:
-            row: List[object] = [proto, _size_label(size)]
+    for rec in records:
+        proto, system, size = rec.params["proto"], rec.params["system"], rec.params["size"]
+        result.raw.setdefault(proto, {}).setdefault(system, {})[size] = (
+            rec.scenario_result()
+        )
+    for proto, by_system in result.raw.items():
+        for size in ordered_unique(
+            s for cells in by_system.values() for s in cells
+        ):
+            row: List[object] = [proto, size_label(size)]
             for system in systems:
-                sc = build_scenario(system, proto, size, costs=costs)
-                res = sc.run(**windows(quick))
-                result.raw[proto][system][size] = res
-                row.append(res.throughput_gbps)
+                row.append(by_system[system][size].throughput_gbps)
             table.add(*row)
     # Fig 4b: CPU breakdown at 64 KB
-    for proto in ("tcp", "udp"):
+    for proto, by_system in result.raw.items():
         for system in systems:
-            res = result.raw[proto][system].get(BREAKDOWN_SIZE)
+            res = by_system.get(system, {}).get(BREAKDOWN_SIZE)
             if res is None:
                 continue
-            lines = [
+            result.cpu_tables[f"{proto}/{system}"] = [
                 breakdown_row(i, res.cpu_breakdown[i])
                 for i in range(min(N_BREAKDOWN_CORES, len(res.cpu_breakdown)))
             ]
-            result.cpu_tables[f"{proto}/{system}"] = lines
     table.notes.append(
         "paper: overlay drops ~40% (TCP) / ~80% (UDP) vs native at 64 KB; RPS helps "
         "slightly; FALCON-dev helps UDP (~+80%) but not TCP; FALCON-fun helps TCP (~+20% over RPS)"
@@ -78,10 +112,16 @@ def run(
     return result
 
 
-def _size_label(size: int) -> str:
-    if size >= 1024:
-        return f"{size // 1024}KB"
-    return f"{size}B"
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    systems: Optional[List[str]] = None,
+    message_sizes: Optional[List[int]] = None,
+    engine: Optional[RunEngine] = None,
+) -> Fig4Result:
+    return reduce(
+        execute(EXPERIMENT, specs(quick, costs, systems, message_sizes), engine)
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -12,11 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.experiments.base import ExperimentTable, windows
+from repro.experiments.base import ExperimentTable, execute, windows
 from repro.netstack.costs import CostModel
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_to_overrides
 from repro.workloads.scenario import ScenarioResult
-from repro.workloads.sockperf import build_scenario
 
+EXPERIMENT = "fig7"
 BATCH_SIZES = [1, 4, 16, 64, 128, 256, 512, 1024]
 MESSAGE_SIZE = 65536
 
@@ -31,21 +33,46 @@ class Fig7Result:
         return self.summary.table()
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def specs(
     quick: bool = False,
+    costs: Optional[CostModel] = None,
     batch_sizes: Optional[List[int]] = None,
-) -> Fig7Result:
+) -> List[RunSpec]:
     batch_sizes = batch_sizes if batch_sizes is not None else BATCH_SIZES
+    win = windows(quick)
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for batch in batch_sizes:
+        params = {
+            "system": "mflow",
+            "proto": "tcp",
+            "size": MESSAGE_SIZE,
+            "batch_size": batch,
+        }
+        if overrides:
+            params["cost_overrides"] = overrides
+        out.append(
+            RunSpec.make(
+                "sockperf",
+                params,
+                warmup_ns=win["warmup_ns"],
+                measure_ns=win["measure_ns"],
+                tags=(EXPERIMENT, f"batch{batch}"),
+            )
+        )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> Fig7Result:
     summary = ExperimentTable(
         "Fig 7: out-of-order delivery at the merge point vs micro-flow batch size "
         "(MFLOW, TCP, 64 KB)",
         ["batch", "ooo_reorder_events", "ooo_raw_packets", "throughput_gbps"],
     )
     result = Fig7Result(summary=summary)
-    for batch in batch_sizes:
-        sc = build_scenario("mflow", "tcp", MESSAGE_SIZE, costs=costs, batch_size=batch)
-        res = sc.run(**windows(quick))
+    for rec in records:
+        batch = rec.params["batch_size"]
+        res = rec.scenario_result()
         events = res.counters.get("mflow_ooo_microflows", 0)
         pkts = res.counters.get("mflow_ooo_packets", 0)
         result.ooo_packets[batch] = events
@@ -56,6 +83,15 @@ def run(
         "batch-based reassembler pays); falls ~1/batch and is negligible by 256, as in the paper"
     )
     return result
+
+
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    batch_sizes: Optional[List[int]] = None,
+    engine: Optional[RunEngine] = None,
+) -> Fig7Result:
+    return reduce(execute(EXPERIMENT, specs(quick, costs, batch_sizes), engine))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -12,11 +12,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.experiments.base import ExperimentTable, breakdown_row, windows
+from repro.experiments.base import (
+    ExperimentTable,
+    breakdown_row,
+    execute,
+    ordered_unique,
+    size_label,
+    windows,
+)
 from repro.netstack.costs import CostModel
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_to_overrides
 from repro.workloads.scenario import ScenarioResult
-from repro.workloads.sockperf import build_scenario
 
+EXPERIMENT = "fig8"
 SYSTEMS = ["native", "vanilla", "rps", "falcon", "mflow"]
 MESSAGE_SIZES = [16, 1024, 4096, 16384, 65536]
 BREAKDOWN_SIZE = 65536
@@ -39,31 +48,55 @@ class Fig8Result:
         return self.raw[proto][system][size].throughput_gbps
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def specs(
     quick: bool = False,
+    costs: Optional[CostModel] = None,
     systems: Optional[List[str]] = None,
     message_sizes: Optional[List[int]] = None,
-) -> Fig8Result:
+) -> List[RunSpec]:
     systems = systems if systems is not None else SYSTEMS
     message_sizes = message_sizes if message_sizes is not None else MESSAGE_SIZES
+    win = windows(quick)
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for proto in ("tcp", "udp"):
+        for size in message_sizes:
+            for system in systems:
+                params = {"system": system, "proto": proto, "size": size}
+                if overrides:
+                    params["cost_overrides"] = overrides
+                out.append(
+                    RunSpec.make(
+                        "sockperf",
+                        params,
+                        warmup_ns=win["warmup_ns"],
+                        measure_ns=win["measure_ns"],
+                        tags=(EXPERIMENT, proto, system, str(size)),
+                    )
+                )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> Fig8Result:
+    systems = ordered_unique(r.params["system"] for r in records)
     table = ExperimentTable(
         "Fig 8a: single-flow throughput (Gbps), MFLOW vs state-of-the-art",
         ["proto", "msg_size"] + systems,
     )
     result = Fig8Result(throughput=table)
-    for proto in ("tcp", "udp"):
-        result.raw[proto] = {s: {} for s in systems}
-        for size in message_sizes:
-            row: List[object] = [proto, _size_label(size)]
+    for rec in records:
+        proto, system, size = rec.params["proto"], rec.params["system"], rec.params["size"]
+        result.raw.setdefault(proto, {}).setdefault(system, {})[size] = (
+            rec.scenario_result()
+        )
+    for proto, by_system in result.raw.items():
+        for size in ordered_unique(s for cells in by_system.values() for s in cells):
+            row: List[object] = [proto, size_label(size)]
             for system in systems:
-                sc = build_scenario(system, proto, size, costs=costs)
-                res = sc.run(**windows(quick))
-                result.raw[proto][system][size] = res
-                row.append(res.throughput_gbps)
+                row.append(by_system[system][size].throughput_gbps)
             table.add(*row)
-        if "mflow" in systems and BREAKDOWN_SIZE in result.raw[proto]["mflow"]:
-            res = result.raw[proto]["mflow"][BREAKDOWN_SIZE]
+        if "mflow" in by_system and BREAKDOWN_SIZE in by_system["mflow"]:
+            res = by_system["mflow"][BREAKDOWN_SIZE]
             n_cores = 6 if proto == "tcp" else 4
             result.cpu_tables[proto] = [
                 breakdown_row(i, res.cpu_breakdown[i]) for i in range(n_cores)
@@ -75,8 +108,16 @@ def run(
     return result
 
 
-def _size_label(size: int) -> str:
-    return f"{size // 1024}KB" if size >= 1024 else f"{size}B"
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    systems: Optional[List[str]] = None,
+    message_sizes: Optional[List[int]] = None,
+    engine: Optional[RunEngine] = None,
+) -> Fig8Result:
+    return reduce(
+        execute(EXPERIMENT, specs(quick, costs, systems, message_sizes), engine)
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -6,9 +6,11 @@ system driven to its maximum throughput before packet drops occur.
 * TCP: the sender is window-limited, so running the continuous workload
   and sampling per-message delivery latency reproduces the paper's
   standing-queue regime directly.
-* UDP: open-loop senders would overload every system unboundedly, so we
-  first measure each system's goodput capacity, then replay at 90% of it
-  (max throughput *before drops*) and sample latency there.
+* UDP: open-loop senders would overload every system unboundedly, so
+  each cell first measures the system's goodput capacity, then replays
+  at 90% of it (max throughput *before drops*) and samples latency there
+  (both phases inside the ``sockperf_loaded`` factory, so a cell stays
+  one self-contained spec).
 """
 
 from __future__ import annotations
@@ -16,12 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.base import ExperimentTable, windows
+from repro.experiments.base import ExperimentTable, execute, size_label, windows
 from repro.metrics.summary import LatencySummary
 from repro.netstack.costs import CostModel
+from repro.runner import RunEngine, RunRecord, RunSpec, run_specs
+from repro.runner.factories import costs_to_overrides
 from repro.workloads.scenario import ScenarioResult
-from repro.workloads.sockperf import CLIENTS, build_scenario
 
+EXPERIMENT = "fig9"
 SYSTEMS = ["native", "vanilla", "rps", "falcon", "mflow"]
 MESSAGE_SIZES = [4096, 65536]
 UDP_LOAD_FACTOR = 0.9
@@ -43,35 +47,75 @@ class Fig9Result:
         return self.summary.table()
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def _cell_spec(
+    system: str,
+    proto: str,
+    size: int,
+    win: Dict[str, float],
+    overrides: Optional[dict],
+) -> RunSpec:
+    if proto == "tcp":
+        factory = "sockperf"
+        params = {"system": system, "proto": proto, "size": size}
+    else:
+        factory = "sockperf_loaded"
+        params = {
+            "system": system,
+            "proto": proto,
+            "size": size,
+            "batch_size": UDP_MFLOW_BATCH if system == "mflow" else 256,
+            "load_factor": UDP_LOAD_FACTOR,
+        }
+    if overrides:
+        params["cost_overrides"] = overrides
+    return RunSpec.make(
+        factory,
+        params,
+        warmup_ns=win["warmup_ns"],
+        measure_ns=win["measure_ns"],
+        tags=(EXPERIMENT, proto, system, str(size)),
+    )
+
+
+def specs(
     quick: bool = False,
+    costs: Optional[CostModel] = None,
     systems: Optional[List[str]] = None,
     message_sizes: Optional[List[int]] = None,
-) -> Fig9Result:
+) -> List[RunSpec]:
     systems = systems if systems is not None else SYSTEMS
     message_sizes = message_sizes if message_sizes is not None else MESSAGE_SIZES
+    win = windows(quick)
+    overrides = costs_to_overrides(costs)
+    return [
+        _cell_spec(system, proto, size, win, overrides)
+        for proto in ("tcp", "udp")
+        for size in message_sizes
+        for system in systems
+    ]
+
+
+def reduce(records: List[RunRecord]) -> Fig9Result:
     summary = ExperimentTable(
         "Fig 9: per-message latency under max pre-drop load (us)",
         ["proto", "msg_size", "system", "mean", "p50", "p99", "gbps"],
     )
     result = Fig9Result(summary=summary)
-    for proto in ("tcp", "udp"):
-        for size in message_sizes:
-            for system in systems:
-                res = _run_cell(system, proto, size, costs, quick)
-                key = (proto, system, size)
-                result.latencies[key] = res.latency
-                result.raw[key] = res
-                summary.add(
-                    proto,
-                    _size_label(size),
-                    system,
-                    res.latency.mean_us,
-                    res.latency.p50_us,
-                    res.latency.p99_us,
-                    res.throughput_gbps,
-                )
+    for rec in records:
+        proto, system, size = rec.params["proto"], rec.params["system"], rec.params["size"]
+        res = rec.scenario_result()
+        key = (proto, system, size)
+        result.latencies[key] = res.latency
+        result.raw[key] = res
+        summary.add(
+            proto,
+            size_label(size),
+            system,
+            res.latency.mean_us,
+            res.latency.p50_us,
+            res.latency.p99_us,
+            res.throughput_gbps,
+        )
     summary.notes.append(
         "paper (TCP 64 KB): MFLOW cuts median ~46% and p99 ~21% vs vanilla overlay; "
         "a latency gap to native remains (longer overlay path)"
@@ -79,27 +123,29 @@ def run(
     return result
 
 
-def _run_cell(
-    system: str, proto: str, size: int, costs: Optional[CostModel], quick: bool
-) -> ScenarioResult:
-    if proto == "tcp":
-        sc = build_scenario(system, proto, size, costs=costs)
-        return sc.run(**windows(quick))
-    # UDP: measure capacity first, then run at 90% of it
-    batch = UDP_MFLOW_BATCH if system == "mflow" else 256
-    probe = build_scenario(system, proto, size, costs=costs, batch_size=batch)
-    cap = probe.run(**windows(quick)).throughput_gbps
-    cap = max(cap, 1e-3)
-    per_client_gbps = cap * UDP_LOAD_FACTOR / CLIENTS[proto]
-    interval_ns = size * 8.0 / per_client_gbps
-    sc = build_scenario(
-        system, proto, size, costs=costs, interval_ns=interval_ns, batch_size=batch
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    systems: Optional[List[str]] = None,
+    message_sizes: Optional[List[int]] = None,
+    engine: Optional[RunEngine] = None,
+) -> Fig9Result:
+    return reduce(
+        execute(EXPERIMENT, specs(quick, costs, systems, message_sizes), engine)
     )
-    return sc.run(**windows(quick))
 
 
-def _size_label(size: int) -> str:
-    return f"{size // 1024}KB" if size >= 1024 else f"{size}B"
+def run_cell(
+    system: str,
+    proto: str,
+    size: int,
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+) -> ScenarioResult:
+    """One figure cell, serial and in-process (the CLI's ``latency`` path)."""
+    spec = _cell_spec(system, proto, size, windows(quick), costs_to_overrides(costs))
+    [record] = run_specs(EXPERIMENT, [spec])
+    return record.scenario_result()
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

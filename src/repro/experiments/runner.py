@@ -2,14 +2,24 @@
 
 Usage::
 
-    python -m repro.experiments             # all figures, quick windows
-    python -m repro.experiments --full      # full measurement windows
-    python -m repro.experiments fig8 fig13  # a subset
+    python -m repro.experiments                 # all figures, quick windows
+    python -m repro.experiments --full          # full measurement windows
+    python -m repro.experiments fig8 fig13      # a subset
+    python -m repro.experiments fig8 --jobs 4   # parallel cells (identical output)
+    python -m repro.experiments fig8 --json     # machine-readable records
+
+Each figure's cells run on a :class:`repro.runner.RunEngine`: parallel
+across ``--jobs`` worker processes, retried on crash or timeout, cached
+under ``<results-dir>/.cache/`` and archived as JSON records under
+``<results-dir>/<figure>/``.  ``--jobs 1`` and ``--jobs N`` produce
+bit-identical tables (seeds derive from spec content, not scheduling).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -26,39 +36,123 @@ from repro.experiments import (
     extensions,
     sensitivity,
 )
+from repro.runner import DEFAULT_TIMEOUT_S, RunEngine, RunFailure
 
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig4": fig4_motivation.run,
-    "fig7": fig7_batch_size.run,
-    "fig8": fig8_throughput.run,
-    "fig9": fig9_latency.run,
-    "fig10": fig10_multiflow.run,
-    "fig11": fig11_webserving.run,
-    "fig12": fig12_cpu_balance.run,
-    "fig13": fig13_memcached.run,
-    "sensitivity": sensitivity.run,
-    "extensions": extensions.run,
+MODULES = {
+    "fig4": fig4_motivation,
+    "fig7": fig7_batch_size,
+    "fig8": fig8_throughput,
+    "fig9": fig9_latency,
+    "fig10": fig10_multiflow,
+    "fig11": fig11_webserving,
+    "fig12": fig12_cpu_balance,
+    "fig13": fig13_memcached,
+    "sensitivity": sensitivity,
+    "extensions": extensions,
 }
+
+#: name -> one-call library entry point (kept for tests and interactive use)
+EXPERIMENTS: Dict[str, Callable] = {name: mod.run for name, mod in MODULES.items()}
+
+
+def _progress(name: str) -> Callable:
+    """Stderr progress line: ``[fig8] 12/40 cached=3 eta 18s``."""
+    started = time.monotonic()
+    cached = 0
+
+    def cb(done: int, total: int, record) -> None:
+        nonlocal cached
+        if record.cached:
+            cached += 1
+        elapsed = time.monotonic() - started
+        live_done = done - cached
+        if live_done > 0 and done < total:
+            eta = f"eta {elapsed / live_done * (total - done):4.0f}s"
+        else:
+            eta = "eta    ?" if done < total else f"{elapsed:5.1f}s"
+        line = f"[{name}] {done}/{total}"
+        if cached:
+            line += f" cached={cached}"
+        sys.stderr.write(f"\r{line} {eta}")
+        if done == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    return cb
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description="MFLOW reproduction experiments")
     parser.add_argument("figures", nargs="*", default=[], help="subset, e.g. fig8 fig13")
     parser.add_argument("--full", action="store_true", help="full measurement windows")
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes per figure (default: CPU count; 1 = in-process serial)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global seed (default 0)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print run records as JSON instead of tables",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="ignore and do not update the result cache"
+    )
+    parser.add_argument(
+        "--results-dir", default="results",
+        help="artifact root (default ./results; records land in <root>/<figure>/)",
+    )
+    parser.add_argument(
+        "--timeout-s", type=float, default=DEFAULT_TIMEOUT_S,
+        help=f"per-cell wall-time cap before the worker is killed (default {DEFAULT_TIMEOUT_S:.0f})",
+    )
     args = parser.parse_args(argv)
 
-    names = args.figures or list(EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    names = args.figures or list(MODULES)
+    unknown = [n for n in names if n not in MODULES]
     if unknown:
-        parser.error(f"unknown figures {unknown}; choose from {list(EXPERIMENTS)}")
+        parser.error(f"unknown figures {unknown}; choose from {list(MODULES)}")
 
+    jobs = max(1, args.jobs if args.jobs is not None else (os.cpu_count() or 1))
+    json_out: Dict[str, Dict] = {}
+    status = 0
     for name in names:
+        module = MODULES[name]
+        specs = module.specs(quick=not args.full)
+        engine = RunEngine(
+            jobs=jobs,
+            global_seed=args.seed,
+            timeout_s=args.timeout_s,
+            results_dir=args.results_dir,
+            use_cache=not args.no_cache,
+            progress=_progress(name) if sys.stderr.isatty() else None,
+        )
         started = time.time()
-        result = EXPERIMENTS[name](quick=not args.full)
+        try:
+            records = engine.run(name, specs)
+        except RunFailure as failure:
+            print(f"[{name} FAILED]\n{failure}", file=sys.stderr, flush=True)
+            status = 1
+            continue
         elapsed = time.time() - started
-        print(result.table())
-        print(f"[{name} done in {elapsed:.1f}s]\n", flush=True)
-    return 0
+        if args.as_json:
+            json_out[name] = {
+                "jobs": jobs,
+                "global_seed": args.seed,
+                "wall_time_s": round(elapsed, 3),
+                "records": [r.to_json_dict() for r in records],
+            }
+        else:
+            result = module.reduce(records)
+            print(result.table())
+            cached = sum(1 for r in records if r.cached)
+            print(
+                f"[{name} done in {elapsed:.1f}s: {len(records)} cells, "
+                f"{cached} cached, jobs={jobs}]\n",
+                flush=True,
+            )
+    if args.as_json:
+        print(json.dumps(json_out, indent=1))
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI

@@ -12,12 +12,14 @@ Run: ``python -m repro.experiments.sensitivity`` (or via the bench).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.experiments.base import ExperimentTable, windows
+from repro.experiments.base import ExperimentTable, execute, ordered_unique, windows
 from repro.netstack.costs import DEFAULT_COSTS, CostModel
-from repro.workloads.sockperf import run_single_flow
+from repro.runner import RunEngine, RunRecord, RunSpec
+
+EXPERIMENT = "sensitivity"
 
 #: the constants the calibration story leans on hardest
 SWEPT_COSTS = [
@@ -60,33 +62,70 @@ class SensitivityResult:
         return "\n".join(out)
 
 
-def _measure(costs: CostModel, quick: bool) -> Dict[str, float]:
-    vals: Dict[str, float] = {}
+def _measured_cells() -> List[Tuple[str, str]]:
     needed = {(proto, side) for _, proto, a, b in ORDERINGS for side in (a, b)}
-    for proto, system in sorted(needed):
-        res = run_single_flow(
-            system, proto, MESSAGE_SIZE, costs=costs, **windows(quick)
-        )
-        vals[f"{system}_{proto}"] = res.throughput_gbps
-    return vals
+    return sorted(needed)
 
 
-def run(
-    costs: Optional[CostModel] = None,
+def specs(
     quick: bool = True,
+    costs: Optional[CostModel] = None,
     swept: Optional[List[str]] = None,
     factors: Optional[List[float]] = None,
-) -> SensitivityResult:
+) -> List[RunSpec]:
     base = costs if costs is not None else DEFAULT_COSTS
     swept = swept if swept is not None else SWEPT_COSTS
     factors = factors if factors is not None else FACTORS
+    win = windows(quick)
+    points: List[Tuple[str, float, CostModel]] = [("baseline", 1.0, base)]
+    for name in swept:
+        for factor in factors:
+            points.append(
+                (name, factor, base.with_overrides(**{name: getattr(base, name) * factor}))
+            )
+    out: List[RunSpec] = []
+    for pert, factor, model in points:
+        for proto, system in _measured_cells():
+            params: Dict[str, Any] = {
+                "system": system,
+                "proto": proto,
+                "size": MESSAGE_SIZE,
+                "pert": pert,
+                "factor": factor,
+                "cost_overrides": asdict(model),
+            }
+            out.append(
+                RunSpec.make(
+                    "sockperf",
+                    params,
+                    warmup_ns=win["warmup_ns"],
+                    measure_ns=win["measure_ns"],
+                    tags=(EXPERIMENT, pert, f"x{factor}", system, proto),
+                )
+            )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> SensitivityResult:
     summary = ExperimentTable(
         "Calibration sensitivity: ordering claims under cost perturbation",
         ["cost", "factor"] + [f"{c}:{p}" for c, p, _, _ in ORDERINGS],
     )
     result = SensitivityResult(summary=summary)
-
-    def check(tag: str, vals: Dict[str, float]) -> List[str]:
+    points = ordered_unique(
+        (r.params["pert"], r.params["factor"]) for r in records
+    )
+    by_point: Dict[Tuple[str, float], Dict[str, float]] = {p: {} for p in points}
+    for rec in records:
+        point = (rec.params["pert"], rec.params["factor"])
+        res = rec.scenario_result()
+        by_point[point][f"{rec.params['system']}_{rec.params['proto']}"] = (
+            res.throughput_gbps
+        )
+    for pert, factor in points:
+        vals = by_point[(pert, factor)]
+        result.raw[(pert, factor)] = vals
+        tag = "baseline" if pert == "baseline" else f"{pert} x{factor}"
         row = []
         for claim, proto, lhs, rhs in ORDERINGS:
             holds = vals[f"{lhs}_{proto}"] > vals[f"{rhs}_{proto}"]
@@ -96,22 +135,22 @@ def run(
                     f"{tag}: {claim} ({proto}) — "
                     f"{vals[f'{lhs}_{proto}']:.2f} <= {vals[f'{rhs}_{proto}']:.2f}"
                 )
-        return row
-
-    baseline = _measure(base, quick)
-    result.raw[("baseline", 1.0)] = baseline
-    summary.add("baseline", 1.0, *check("baseline", baseline))
-    for name in swept:
-        for factor in factors:
-            perturbed = base.with_overrides(**{name: getattr(base, name) * factor})
-            vals = _measure(perturbed, quick)
-            result.raw[(name, factor)] = vals
-            summary.add(name, factor, *check(f"{name} x{factor}", vals))
+        summary.add(pert, factor, *row)
     summary.notes.append(
         "each row perturbs one calibrated constant; 'ok' means the paper's "
         "ordering claim still holds at 64 KB single-flow"
     )
     return result
+
+
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = True,
+    swept: Optional[List[str]] = None,
+    factors: Optional[List[float]] = None,
+    engine: Optional[RunEngine] = None,
+) -> SensitivityResult:
+    return reduce(execute(EXPERIMENT, specs(quick, costs, swept, factors), engine))
 
 
 if __name__ == "__main__":  # pragma: no cover - manual driver

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
@@ -31,6 +31,20 @@ class LatencySummary:
         return (
             f"n={self.count} mean={self.mean_us:.1f}us "
             f"p50={self.p50_us:.1f}us p99={self.p99_us:.1f}us max={self.max_us:.1f}us"
+        )
+
+    # JSON round-trip for run-record measurement payloads
+    def to_dict(self) -> Dict[str, float]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, float]) -> "LatencySummary":
+        return cls(
+            count=int(data["count"]),
+            mean_us=float(data["mean_us"]),
+            p50_us=float(data["p50_us"]),
+            p99_us=float(data["p99_us"]),
+            max_us=float(data["max_us"]),
         )
 
 

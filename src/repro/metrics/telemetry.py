@@ -19,13 +19,19 @@ from repro.sim.engine import Simulator
 class Telemetry:
     """Counters + sample streams with warmup-aware windowing."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, record_prewindow: bool = False):
+        """``record_prewindow=True`` keeps samples observed before any
+        measurement window is opened.  The default (``False``) matches the
+        experiment harnesses, which treat everything before
+        :meth:`start_window` as warmup — but standalone/unit users that never
+        open a window would otherwise silently lose every sample."""
         self.sim = sim
         self.counters: Dict[str, int] = {}
         self.samples: Dict[str, List[float]] = {}
         self._window_start: Optional[float] = None
         self._window_counters: Dict[str, int] = {}
         self.recording = True
+        self.record_prewindow = record_prewindow
 
     # ----------------------------------------------------------- counters
     def count(self, name: str, n: int = 1) -> None:
@@ -36,8 +42,16 @@ class Telemetry:
 
     # ------------------------------------------------------------- samples
     def observe(self, name: str, value: float) -> None:
-        """Record one sample; dropped during warmup (before the window opens)."""
-        if self._window_start is None or not self.recording:
+        """Record one sample.
+
+        Samples seen while no measurement window is open count as warmup and
+        are dropped unless the instance was built with
+        ``record_prewindow=True`` (note that :meth:`start_window` still
+        clears everything recorded so far when it opens the window).
+        """
+        if not self.recording:
+            return
+        if self._window_start is None and not self.record_prewindow:
             return
         self.samples.setdefault(name, []).append(value)
 

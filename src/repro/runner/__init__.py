@@ -1,0 +1,44 @@
+"""Declarative experiment execution.
+
+``RunSpec`` (what to run) → ``RunEngine`` (how: serial or process-pool,
+cached, fault-tolerant) → ``RunRecord`` (structured JSON artifact) →
+each experiment module's pure ``reduce``.  See ``docs/RUNNER.md``.
+"""
+
+from repro.runner.cache import ResultCache, code_version
+from repro.runner.engine import (
+    DEFAULT_TIMEOUT_S,
+    EngineEvent,
+    RunEngine,
+    RunFailure,
+    execute_spec,
+    run_specs,
+)
+from repro.runner.records import (
+    RunRecord,
+    index_by_tags,
+    scenario_result_from_dict,
+    scenario_result_to_dict,
+)
+from repro.runner.registry import FACTORIES, register, resolve
+from repro.runner.spec import RunSpec, canonical_params
+
+__all__ = [
+    "DEFAULT_TIMEOUT_S",
+    "EngineEvent",
+    "FACTORIES",
+    "ResultCache",
+    "RunEngine",
+    "RunFailure",
+    "RunRecord",
+    "RunSpec",
+    "canonical_params",
+    "code_version",
+    "execute_spec",
+    "index_by_tags",
+    "register",
+    "resolve",
+    "run_specs",
+    "scenario_result_from_dict",
+    "scenario_result_to_dict",
+]

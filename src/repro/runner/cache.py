@@ -1,0 +1,80 @@
+"""Content-addressed result cache.
+
+Cache entries are keyed on ``(spec key, code version)`` where the code
+version is a content hash of every ``*.py`` file in the installed
+``repro`` package — editing any simulator source invalidates every
+cached cell automatically, so re-running a sweep only executes changed
+or new cells and never serves stale physics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the repro package sources (cached per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:20]
+    return _CODE_VERSION
+
+
+def cache_key(spec_key: str, version: str) -> str:
+    return hashlib.sha256(f"{spec_key}:{version}".encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """One-JSON-file-per-entry cache under ``<results_root>/.cache/``."""
+
+    def __init__(self, root: Path):
+        self.dir = Path(root) / ".cache"
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec_key: str, version: str) -> Path:
+        return self.dir / f"{cache_key(spec_key, version)}.json"
+
+    def get(self, spec_key: str, version: str) -> Optional[Dict[str, Any]]:
+        """The cached record dict for ``(spec, code version)``, or None."""
+        path = self._path(spec_key, version)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def put(self, spec_key: str, version: str, record: Dict[str, Any]) -> None:
+        """Atomically persist a record dict (rename over a temp file)."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(spec_key, version)
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

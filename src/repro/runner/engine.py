@@ -1,0 +1,371 @@
+"""Parallel, fault-tolerant execution of :class:`RunSpec` lists.
+
+The :class:`RunEngine` shards a sweep's independent cells across worker
+processes (``jobs`` of them; ``jobs=1`` is a fully in-process serial
+path kept for debugging).  Guarantees:
+
+* **Determinism** — every spec's scenario seed is derived from
+  ``(global_seed, spec key)``, never from scheduling order, so serial
+  and parallel sweeps produce bit-identical measurements.
+* **Fault tolerance** — a worker that crashes, raises, or exceeds the
+  per-spec timeout is retried (default: once) on a fresh process; a spec
+  that still fails is reported in its record and, under ``strict``, as a
+  :class:`RunFailure` — never silently dropped.
+* **Artifacts & cache** — when given a ``results_dir``, every completed
+  spec is written as a JSON record under ``results/<experiment>/runs/``
+  (plus a sweep ``manifest.json``) and memoized in a content-addressed
+  cache keyed on ``(spec, code version)``, so re-running a sweep only
+  executes changed cells.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.cache import ResultCache, code_version
+from repro.runner.records import RunRecord
+from repro.runner.registry import resolve
+from repro.runner.spec import RunSpec
+
+#: default hard cap on one spec's wall time before the worker is killed
+DEFAULT_TIMEOUT_S = 900.0
+
+ProgressFn = Callable[[int, int, RunRecord], None]
+
+
+class RunFailure(RuntimeError):
+    """A sweep had specs that failed even after retry."""
+
+    def __init__(self, records: List[RunRecord]):
+        self.records = records
+        lines = [f"{len(records)} spec(s) failed after retries:"]
+        lines += [
+            f"  {'/'.join(r.tags) or r.factory} [{r.spec_key[:16]}]: {r.error}"
+            for r in records
+        ]
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class EngineEvent:
+    """One noteworthy execution event (crash, timeout, retry, failure)."""
+
+    spec_key: str
+    kind: str          # "crash" | "exception" | "timeout" | "retry" | "failed"
+    attempt: int
+    detail: str = ""
+
+
+def execute_spec(spec: RunSpec, seed: int, attempt: int = 0) -> Dict[str, Any]:
+    """Resolve and invoke a spec's factory.  Runs inside the worker."""
+    factory = resolve(spec.factory)
+    params = spec.params_dict()
+    params["_attempt"] = attempt
+    return factory(params, seed, spec.warmup_ns, spec.measure_ns)
+
+
+def _worker_main(conn, spec: RunSpec, seed: int, attempt: int) -> None:
+    """Worker-process entry: run one spec, ship the outcome, exit."""
+    try:
+        started = time.perf_counter()
+        measurements = execute_spec(spec, seed, attempt)
+        conn.send(("ok", measurements, time.perf_counter() - started))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=20), 0.0))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+@dataclass
+class _Active:
+    """Book-keeping for one in-flight worker process."""
+
+    index: int
+    attempt: int
+    proc: Any
+    deadline: Optional[float]
+
+
+class RunEngine:
+    """Executes spec lists; see the module docstring for the contract."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        global_seed: int = 0,
+        timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+        retries: int = 1,
+        results_dir: Optional[os.PathLike] = None,
+        use_cache: bool = True,
+        strict: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ):
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.global_seed = global_seed
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.results_dir = Path(results_dir) if results_dir is not None else None
+        self.use_cache = use_cache and self.results_dir is not None
+        self.strict = strict
+        self.progress = progress
+        self.events: List[EngineEvent] = []
+
+    # ----------------------------------------------------------------- API
+    def run(self, experiment: str, specs: Sequence[RunSpec]) -> List[RunRecord]:
+        """Execute every spec; records come back in spec order."""
+        self.events = []
+        version = code_version()
+        cache = ResultCache(self.results_dir) if self.use_cache else None
+        records: List[Optional[RunRecord]] = [None] * len(specs)
+        done_count = 0
+        pending: List[int] = []
+
+        for i, spec in enumerate(specs):
+            hit = cache.get(spec.key, version) if cache is not None else None
+            if hit is not None:
+                record = RunRecord.from_json_dict(hit)
+                record.tags = list(spec.tags)       # tags are not part of the key
+                record.experiment = experiment
+                record.cached = True
+                records[i] = record
+                done_count += 1
+                self._emit_progress(done_count, len(specs), record)
+            else:
+                pending.append(i)
+
+        def finish(i: int, record: RunRecord) -> None:
+            nonlocal done_count
+            records[i] = record
+            done_count += 1
+            if record.ok and cache is not None:
+                cache.put(specs[i].key, version, record.to_json_dict())
+            self._emit_progress(done_count, len(specs), record)
+
+        if pending:
+            if self.jobs == 1:
+                for i in pending:
+                    finish(i, self._run_serial(experiment, specs[i], version))
+            else:
+                self._run_parallel(experiment, specs, pending, version, finish)
+
+        final = [r for r in records if r is not None]
+        assert len(final) == len(specs)
+        self._write_artifacts(experiment, specs, final)
+        failed = [r for r in final if not r.ok]
+        if failed and self.strict:
+            raise RunFailure(failed)
+        return final
+
+    # -------------------------------------------------------------- serial
+    def _run_serial(self, experiment: str, spec: RunSpec, version: str) -> RunRecord:
+        """In-process execution (no subprocess, so no hang protection);
+        exceptions still get the same retry budget as worker crashes."""
+        record = RunRecord.for_spec(spec, self.global_seed, experiment, version)
+        for attempt in range(self.retries + 1):
+            try:
+                started = time.perf_counter()
+                measurements = execute_spec(spec, record.seed, attempt)
+                return self._complete(record, measurements,
+                                      time.perf_counter() - started, attempt + 1)
+            except Exception:
+                detail = traceback.format_exc(limit=20)
+                self._note(spec, "exception", attempt, detail)
+                if attempt < self.retries:
+                    self._note(spec, "retry", attempt + 1)
+        record.error = f"failed after {self.retries + 1} attempt(s): exception"
+        record.attempts = self.retries + 1
+        self._note(spec, "failed", self.retries, record.error)
+        return record
+
+    # ------------------------------------------------------------ parallel
+    def _run_parallel(
+        self,
+        experiment: str,
+        specs: Sequence[RunSpec],
+        pending: List[int],
+        version: str,
+        finish: Callable[[int, RunRecord], None],
+    ) -> None:
+        ctx = mp.get_context(
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        todo = deque((i, 0) for i in pending)
+        active: Dict[Any, _Active] = {}
+        failures: Dict[int, str] = {}
+
+        def fail_or_retry(index: int, attempt: int, kind: str, detail: str) -> None:
+            spec = specs[index]
+            self._note(spec, kind, attempt, detail)
+            if attempt < self.retries:
+                self._note(spec, "retry", attempt + 1)
+                todo.append((index, attempt + 1))
+            else:
+                failures[index] = kind
+                record = RunRecord.for_spec(spec, self.global_seed, experiment, version)
+                record.attempts = attempt + 1
+                record.error = f"failed after {attempt + 1} attempt(s): {kind}"
+                self._note(spec, "failed", attempt, record.error)
+                finish(index, record)
+
+        try:
+            while todo or active:
+                while todo and len(active) < self.jobs:
+                    index, attempt = todo.popleft()
+                    spec = specs[index]
+                    seed = spec.derived_seed(self.global_seed)
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(child_conn, spec, seed, attempt),
+                        daemon=True,
+                    )
+                    proc.start()
+                    child_conn.close()  # ours closes so worker exit yields EOF
+                    timeout = (
+                        spec.timeout_s if spec.timeout_s is not None else self.timeout_s
+                    )
+                    deadline = time.monotonic() + timeout if timeout else None
+                    active[parent_conn] = _Active(index, attempt, proc, deadline)
+
+                ready = mp_connection.wait(list(active), timeout=0.05)
+                for conn in ready:
+                    state = active.pop(conn)
+                    msg: Optional[Tuple] = None
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        msg = None
+                    conn.close()
+                    state.proc.join(timeout=5.0)
+                    spec = specs[state.index]
+                    if msg is None:
+                        fail_or_retry(
+                            state.index, state.attempt, "crash",
+                            f"worker exited with code {state.proc.exitcode}",
+                        )
+                    elif msg[0] == "ok":
+                        record = RunRecord.for_spec(
+                            spec, self.global_seed, experiment, version
+                        )
+                        finish(
+                            state.index,
+                            self._complete(record, msg[1], msg[2], state.attempt + 1),
+                        )
+                    else:
+                        fail_or_retry(state.index, state.attempt, "exception", msg[1])
+
+                now = time.monotonic()
+                for conn, state in list(active.items()):
+                    if state.deadline is None or now <= state.deadline:
+                        continue
+                    # a result may have raced in just before the deadline
+                    if conn.poll():
+                        continue
+                    active.pop(conn)
+                    state.proc.kill()
+                    state.proc.join(timeout=5.0)
+                    conn.close()
+                    timeout = (
+                        specs[state.index].timeout_s
+                        if specs[state.index].timeout_s is not None
+                        else self.timeout_s
+                    )
+                    fail_or_retry(
+                        state.index, state.attempt, "timeout",
+                        f"killed after {timeout:.1f}s",
+                    )
+        finally:
+            for conn, state in active.items():
+                state.proc.kill()
+                state.proc.join(timeout=5.0)
+                conn.close()
+
+    # ------------------------------------------------------------- helpers
+    def _complete(
+        self, record: RunRecord, measurements: Dict[str, Any],
+        wall_time_s: float, attempts: int,
+    ) -> RunRecord:
+        record.measurements = measurements
+        record.wall_time_s = wall_time_s
+        record.attempts = attempts
+        record.events_executed = int(measurements.get("events_executed", 0))
+        if wall_time_s > 0:
+            record.events_per_sec = record.events_executed / wall_time_s
+        return record
+
+    def _note(self, spec: RunSpec, kind: str, attempt: int, detail: str = "") -> None:
+        self.events.append(EngineEvent(spec.key, kind, attempt, detail))
+
+    def _emit_progress(self, done: int, total: int, record: RunRecord) -> None:
+        if self.progress is not None:
+            self.progress(done, total, record)
+
+    # ------------------------------------------------------------ artifacts
+    def _write_artifacts(
+        self, experiment: str, specs: Sequence[RunSpec], records: List[RunRecord]
+    ) -> None:
+        if self.results_dir is None:
+            return
+        out_dir = self.results_dir / experiment
+        runs_dir = out_dir / "runs"
+        runs_dir.mkdir(parents=True, exist_ok=True)
+        for record in records:
+            path = runs_dir / f"{record.spec_key[:16]}.json"
+            path.write_text(json.dumps(record.to_json_dict(), indent=1))
+        manifest = {
+            "experiment": experiment,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "jobs": self.jobs,
+            "global_seed": self.global_seed,
+            "code_version": code_version(),
+            "n_specs": len(specs),
+            "cached": sum(1 for r in records if r.cached),
+            "failed": sum(1 for r in records if not r.ok),
+            "events": [
+                {"spec": e.spec_key[:16], "kind": e.kind, "attempt": e.attempt}
+                for e in self.events
+            ],
+            "runs": [
+                {
+                    "spec_key": r.spec_key,
+                    "record": f"runs/{r.spec_key[:16]}.json",
+                    "factory": r.factory,
+                    "tags": r.tags,
+                    "ok": r.ok,
+                    "cached": r.cached,
+                    "wall_time_s": round(r.wall_time_s, 4),
+                }
+                for r in records
+            ],
+        }
+        (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=1))
+
+
+def run_specs(
+    experiment: str,
+    specs: Sequence[RunSpec],
+    engine: Optional[RunEngine] = None,
+    **engine_kwargs,
+) -> List[RunRecord]:
+    """Convenience wrapper: run ``specs`` on ``engine`` (default: serial,
+    artifact-free, cache-free — the library/testing configuration)."""
+    if engine is None:
+        engine_kwargs.setdefault("jobs", 1)
+        engine_kwargs.setdefault("results_dir", None)
+        engine = RunEngine(**engine_kwargs)
+    return engine.run(experiment, specs)

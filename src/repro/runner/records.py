@@ -1,0 +1,140 @@
+"""Structured run artifacts.
+
+A :class:`RunRecord` is the JSON-serializable outcome of executing one
+:class:`~repro.runner.spec.RunSpec`: the spec identity, the measurements
+the factory produced, execution metadata (wall time, simulator events,
+attempts), and an error field for runs that failed after retry.  Records
+are what the engine caches, what ``results/<experiment>/`` stores on
+disk, and what experiment ``reduce`` functions consume.
+
+Measurement payloads are plain dicts; the helpers here convert the
+simulator's result objects to and from that form so reducers can keep
+working with the familiar :class:`ScenarioResult` API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.summary import LatencySummary
+from repro.workloads.scenario import ScenarioResult
+
+from repro.runner.spec import RunSpec
+
+
+# ------------------------------------------------------- result serialization
+def latency_to_dict(latency: LatencySummary) -> Dict[str, float]:
+    return latency.to_dict()
+
+
+def latency_from_dict(data: Dict[str, float]) -> LatencySummary:
+    return LatencySummary.from_dict(data)
+
+
+def scenario_result_to_dict(res: ScenarioResult) -> Dict[str, Any]:
+    """Flatten a :class:`ScenarioResult` into a JSON-safe measurement dict."""
+    return {
+        "kind": "scenario",
+        "throughput_gbps": res.throughput_gbps,
+        "messages_delivered": res.messages_delivered,
+        "latency": latency_to_dict(res.latency),
+        "cpu_utilization": list(res.cpu_utilization),
+        "cpu_breakdown": [dict(b) for b in res.cpu_breakdown],
+        "counters": dict(res.counters),
+        "drops": dict(res.drops),
+        "ooo_arrivals": res.ooo_arrivals,
+        "window_ns": res.window_ns,
+        "events_executed": res.events_executed,
+    }
+
+
+def scenario_result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
+    return ScenarioResult(
+        throughput_gbps=float(data["throughput_gbps"]),
+        messages_delivered=int(data["messages_delivered"]),
+        latency=latency_from_dict(data["latency"]),
+        cpu_utilization=[float(u) for u in data["cpu_utilization"]],
+        cpu_breakdown=[dict(b) for b in data["cpu_breakdown"]],
+        counters={k: int(v) for k, v in data.get("counters", {}).items()},
+        drops={k: int(v) for k, v in data.get("drops", {}).items()},
+        ooo_arrivals=int(data.get("ooo_arrivals", 0)),
+        window_ns=float(data.get("window_ns", 0.0)),
+        events_executed=int(data.get("events_executed", 0)),
+    )
+
+
+# --------------------------------------------------------------- run records
+@dataclass
+class RunRecord:
+    """Everything one executed (or cached, or failed) spec leaves behind."""
+
+    spec_key: str
+    factory: str
+    params: Dict[str, Any]
+    tags: List[str]
+    seed: int                    # effective (derived) scenario seed
+    global_seed: int
+    warmup_ns: float
+    measure_ns: float
+    code_version: str = ""
+    experiment: str = ""
+    measurements: Optional[Dict[str, Any]] = None
+    wall_time_s: float = 0.0
+    events_executed: int = 0
+    events_per_sec: float = 0.0
+    attempts: int = 1
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.measurements is not None
+
+    # ------------------------------------------------------------ accessors
+    def scenario_result(self) -> ScenarioResult:
+        """Reconstruct the :class:`ScenarioResult` for scenario-kind records."""
+        if not self.ok:
+            raise ValueError(f"record {self.spec_key[:16]} failed: {self.error}")
+        assert self.measurements is not None
+        if self.measurements.get("kind") != "scenario":
+            raise ValueError(
+                f"record {self.spec_key[:16]} holds "
+                f"{self.measurements.get('kind')!r} measurements, not a scenario"
+            )
+        return scenario_result_from_dict(self.measurements)
+
+    def latency(self) -> LatencySummary:
+        assert self.measurements is not None
+        return latency_from_dict(self.measurements["latency"])
+
+    # -------------------------------------------------------------- JSON IO
+    def to_json_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "RunRecord":
+        return cls(**data)
+
+    @classmethod
+    def for_spec(
+        cls, spec: RunSpec, global_seed: int, experiment: str = "", code_version: str = ""
+    ) -> "RunRecord":
+        """An empty record pre-filled with the spec's identity."""
+        return cls(
+            spec_key=spec.key,
+            factory=spec.factory,
+            params=spec.params_dict(),
+            tags=list(spec.tags),
+            seed=spec.derived_seed(global_seed),
+            global_seed=global_seed,
+            warmup_ns=spec.warmup_ns,
+            measure_ns=spec.measure_ns,
+            experiment=experiment,
+            code_version=code_version,
+        )
+
+
+def index_by_tags(records: List[RunRecord]) -> Dict[tuple, RunRecord]:
+    """Look-up table from a record's tag tuple to the record."""
+    return {tuple(r.tags): r for r in records}

@@ -1,0 +1,56 @@
+"""Scenario-factory registry.
+
+Factories are referenced by *name* inside :class:`RunSpec` and resolved
+lazily from dotted ``"module:function"`` paths, so spec construction
+never imports workload code (keeping specs cheap and picklable) and
+worker processes import only what they execute.
+
+A factory has the signature::
+
+    factory(params: dict, seed: int, warmup_ns: float, measure_ns: float)
+        -> dict   # JSON-safe measurements
+
+The engine injects ``params["_attempt"]`` (0-based retry counter) before
+each call; factories that do not care simply ignore it.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict
+
+Factory = Callable[..., Dict[str, Any]]
+
+#: name -> "module:function" dotted path
+FACTORIES: Dict[str, str] = {
+    "sockperf": "repro.runner.factories:sockperf_factory",
+    "sockperf_loaded": "repro.runner.factories:sockperf_loaded_factory",
+    "multiflow": "repro.runner.factories:multiflow_factory",
+    "memcached": "repro.runner.factories:memcached_factory",
+    "webserving": "repro.runner.factories:webserving_factory",
+    "mflow_extension": "repro.experiments.extensions:extension_factory",
+    # test doubles (used by the runner's own test-suite)
+    "_test_echo": "repro.runner.factories:_echo_factory",
+    "_test_crashy": "repro.runner.factories:_crashy_factory",
+    "_test_sleepy": "repro.runner.factories:_sleepy_factory",
+}
+
+
+def register(name: str, dotted_path: str) -> None:
+    """Register (or override) a factory under ``name``."""
+    if ":" not in dotted_path:
+        raise ValueError(f"expected 'module:function', got {dotted_path!r}")
+    FACTORIES[name] = dotted_path
+
+
+def resolve(name: str) -> Factory:
+    """Import and return the factory registered under ``name``."""
+    try:
+        dotted = FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario factory {name!r}; registered: {sorted(FACTORIES)}"
+        ) from None
+    module_name, _, attr = dotted.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)

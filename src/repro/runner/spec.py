@@ -1,0 +1,145 @@
+"""Declarative run specifications.
+
+A :class:`RunSpec` names *one* independent simulator run: which scenario
+factory to build (by registry name), its parameters, the measurement
+windows, and a base seed.  Specs are frozen, hashable, and canonical —
+two specs built from the same logical inputs compare equal regardless of
+parameter ordering — so they can key caches and derive per-run seeds.
+
+Experiment modules produce lists of specs (``specs(quick)``); the
+:mod:`repro.runner.engine` executes them serially or on a process pool
+and hands the records back to the module's pure ``reduce``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: params are stored canonically as a sorted tuple of (key, value) pairs
+ParamItems = Tuple[Tuple[str, Any], ...]
+
+
+def _canonical_value(value: Any) -> Any:
+    """Recursively freeze a parameter value into a hashable canonical form."""
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _canonical_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"RunSpec params must be JSON-like (str/int/float/bool/None/list/dict), "
+        f"got {type(value).__name__}: {value!r}"
+    )
+
+
+def _thaw(value: Any) -> Any:
+    """Inverse of :func:`_canonical_value` for dict-valued parameters."""
+    if isinstance(value, tuple):
+        if value and all(
+            isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], str)
+            for item in value
+        ):
+            return {k: _thaw(v) for k, v in value}
+        return [_thaw(v) for v in value]
+    return value
+
+
+def canonical_params(params: Optional[Mapping[str, Any]]) -> ParamItems:
+    """Sorted, frozen (key, value) items for a parameter mapping."""
+    if not params:
+        return ()
+    return tuple(sorted((str(k), _canonical_value(v)) for k, v in params.items()))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent cell of an experiment sweep.
+
+    ``factory`` names a registered scenario factory
+    (:mod:`repro.runner.registry`); ``params`` are its keyword arguments in
+    canonical frozen form (build specs with :meth:`make` to pass a plain
+    dict).  ``tags`` are presentation metadata for humans and manifests;
+    they do not participate in the spec key, so re-tagging a sweep never
+    invalidates its cache.
+    """
+
+    factory: str
+    params: ParamItems = ()
+    seed: int = 0
+    warmup_ns: float = 2_000_000.0
+    measure_ns: float = 8_000_000.0
+    tags: Tuple[str, ...] = ()
+    timeout_s: Optional[float] = field(default=None, compare=False)
+
+    @classmethod
+    def make(
+        cls,
+        factory: str,
+        params: Optional[Mapping[str, Any]] = None,
+        *,
+        seed: int = 0,
+        warmup_ns: float = 2_000_000.0,
+        measure_ns: float = 8_000_000.0,
+        tags: Tuple[str, ...] = (),
+        timeout_s: Optional[float] = None,
+    ) -> "RunSpec":
+        return cls(
+            factory=factory,
+            params=canonical_params(params),
+            seed=seed,
+            warmup_ns=warmup_ns,
+            measure_ns=measure_ns,
+            tags=tuple(str(t) for t in tags),
+            timeout_s=timeout_s,
+        )
+
+    # --------------------------------------------------------------- views
+    def params_dict(self) -> Dict[str, Any]:
+        """The parameters as a plain dict (nested dicts/lists thawed)."""
+        return {k: _thaw(v) for k, v in self.params}
+
+    def with_windows(self, warmup_ns: float, measure_ns: float) -> "RunSpec":
+        return replace(self, warmup_ns=warmup_ns, measure_ns=measure_ns)
+
+    # ---------------------------------------------------------------- keys
+    @property
+    def key(self) -> str:
+        """Content hash of everything that determines the run's outcome."""
+        payload = json.dumps(
+            {
+                "factory": self.factory,
+                "params": self.params,
+                "seed": self.seed,
+                "warmup_ns": self.warmup_ns,
+                "measure_ns": self.measure_ns,
+            },
+            sort_keys=True,
+            default=list,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def short_key(self) -> str:
+        return self.key[:16]
+
+    def derived_seed(self, global_seed: int) -> int:
+        """Deterministic per-spec seed from ``(global_seed, spec key)``.
+
+        Independent of execution order and of which process runs the spec,
+        so serial and parallel sweeps are bit-identical; changing the
+        global seed re-seeds every cell.
+        """
+        digest = hashlib.sha256(
+            f"{global_seed}:{self.seed}:{self.key}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % (2**32)
+
+    def describe(self) -> str:
+        """A short human-readable label (tags if present, else factory+key)."""
+        if self.tags:
+            return "/".join(self.tags)
+        return f"{self.factory}:{self.short_key}"

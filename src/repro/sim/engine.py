@@ -19,18 +19,29 @@ class SimulationError(RuntimeError):
 class _Event:
     """A cancellable scheduled callback (returned by :meth:`Simulator.call_in`)."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: Tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: Tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_cancelled()
 
     def __lt__(self, other: "_Event") -> bool:
         if self.time != other.time:
@@ -45,11 +56,15 @@ class _Event:
 class Simulator:
     """Event-heap discrete-event simulator with a nanosecond clock."""
 
+    #: compaction only kicks in past this heap size (tiny heaps never pay it)
+    COMPACT_MIN_EVENTS = 64
+
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: List[_Event] = []
         self._seq: int = 0
         self._running = False
+        self._cancelled: int = 0
         self.events_executed: int = 0
 
     # ------------------------------------------------------------------ time
@@ -71,10 +86,30 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time_ns} (now={self._now})"
             )
-        ev = _Event(time_ns, self._seq, fn, args)
+        ev = _Event(time_ns, self._seq, fn, args, sim=self)
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
+
+    # ------------------------------------------------------ cancelled events
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once more than half of it is cancelled events.
+
+        Long runs with many cancelled timers (e.g. per-packet timeouts that
+        almost always get cancelled) would otherwise bloat the heap and slow
+        every push/pop; compaction keeps it proportional to *live* events.
+        """
+        heap = self._heap
+        if len(heap) < self.COMPACT_MIN_EVENTS or self._cancelled * 2 <= len(heap):
+            return
+        # in-place so the run() loop's local reference stays valid
+        heap[:] = [ev for ev in heap if not ev.cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> _Event:
         """Schedule ``fn(*args)`` at the current time (after pending same-time events)."""
@@ -99,6 +134,7 @@ class Simulator:
                     break
                 heapq.heappop(heap)
                 if ev.cancelled:
+                    self._cancelled -= 1
                     continue
                 self._now = ev.time
                 self.events_executed += 1
@@ -113,6 +149,7 @@ class Simulator:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = ev.time
             self.events_executed += 1
@@ -124,9 +161,19 @@ class Simulator:
         """Timestamp of the next live event, or None if the heap is drained."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         return self._heap[0].time if self._heap else None
 
     @property
     def pending(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
+        """Number of events still on the heap (including cancelled ones).
+
+        Prefer :attr:`live_pending` when deciding whether real work remains;
+        this raw count over-reports whenever cancelled timers linger.
+        """
         return len(self._heap)
+
+    @property
+    def live_pending(self) -> int:
+        """Number of not-yet-cancelled events still on the heap."""
+        return len(self._heap) - self._cancelled

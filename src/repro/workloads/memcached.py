@@ -55,6 +55,7 @@ class MemcachedResult:
     latency: LatencySummary
     requests_per_sec: float
     cpu_utilization: List[float]
+    events_executed: int = 0
 
 
 def memcached_policy_factory(system: str) -> Callable[[CpuSet], SteeringPolicy]:
@@ -143,4 +144,5 @@ def run_memcached(
         latency=latency,
         requests_per_sec=rps,
         cpu_utilization=res.cpu_utilization,
+        events_executed=engine.sim.events_executed,
     )

@@ -54,6 +54,7 @@ class ScenarioResult:
     drops: Dict[str, int] = field(default_factory=dict)
     ooo_arrivals: int = 0
     window_ns: float = 0.0
+    events_executed: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - convenience printer
         return (
@@ -237,4 +238,5 @@ class Scenario:
             drops=dict(self.pipeline.drops),
             ooo_arrivals=ooo,
             window_ns=window_ns,
+            events_executed=self.sim.events_executed,
         )

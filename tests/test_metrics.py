@@ -68,6 +68,19 @@ class TestTelemetry:
         t.observe("lat", 1.0)
         assert t.sample_list("lat") == []
 
+    def test_record_prewindow_keeps_early_samples(self):
+        t = Telemetry(Simulator(), record_prewindow=True)
+        t.observe("lat", 1.0)  # no window open yet
+        assert t.sample_list("lat") == [1.0]
+        t.start_window()  # opening the window still resets samples
+        t.observe("lat", 2.0)
+        assert t.sample_list("lat") == [2.0]
+
+    def test_prewindow_samples_dropped_by_default(self):
+        t = Telemetry(Simulator())
+        t.observe("lat", 1.0)
+        assert t.sample_list("lat") == []
+
 
 class TestSummary:
     def test_percentile_basics(self):

@@ -136,6 +136,51 @@ def test_events_executed_counter():
     assert sim.events_executed == 5
 
 
+def test_live_pending_excludes_cancelled():
+    sim = Simulator()
+    events = [sim.call_in(float(i + 1), lambda: None) for i in range(10)]
+    events[0].cancel()
+    events[1].cancel()
+    assert sim.pending == 10  # over-reports by design (lazy deletion)
+    assert sim.live_pending == 8
+
+
+def test_heap_compacts_when_mostly_cancelled():
+    sim = Simulator()
+    n = Simulator.COMPACT_MIN_EVENTS + 36
+    events = [sim.call_in(float(i + 1), lambda: None) for i in range(n)]
+    to_cancel = n // 2 + 1
+    for ev in events[:to_cancel]:
+        ev.cancel()
+    # more than half the heap is dead -> it was rebuilt in place
+    assert sim.pending == n - to_cancel
+    assert sim.live_pending == sim.pending
+
+
+def test_small_heaps_are_not_compacted():
+    sim = Simulator()
+    events = [sim.call_in(float(i + 1), lambda: None) for i in range(8)]
+    for ev in events:
+        ev.cancel()
+    assert sim.pending == 8  # below COMPACT_MIN_EVENTS: lazy deletion only
+    assert sim.live_pending == 0
+
+
+def test_events_survive_compaction():
+    sim = Simulator()
+    seen = []
+    n = Simulator.COMPACT_MIN_EVENTS + 36
+    events = [sim.call_in(float(i + 1), seen.append, i) for i in range(n)]
+    for ev in events[: n // 2 + 1]:
+        ev.cancel()
+    # events scheduled after the rebuild must land in the same heap
+    sim.call_in(0.5, seen.append, "early")
+    sim.run()
+    assert seen[0] == "early"
+    assert seen[1:] == list(range(n // 2 + 1, n))
+    assert sim.live_pending == 0
+
+
 def test_not_reentrant():
     sim = Simulator()
 
