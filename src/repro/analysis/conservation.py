@@ -24,10 +24,18 @@ class ConservationReport:
     backlog_drops: int
     delivered_segments: int
     in_flight_estimate: int
+    #: packets consumed by explicitly-counted fault sinks after the NIC:
+    #: branch-blackout drops and duplicate segments absorbed by TCP
+    fault_drops: int = 0
 
     @property
     def accounted(self) -> int:
-        return self.delivered_segments + self.ring_drops + self.backlog_drops
+        return (
+            self.delivered_segments
+            + self.ring_drops
+            + self.backlog_drops
+            + self.fault_drops
+        )
 
     @property
     def unaccounted(self) -> int:
@@ -62,10 +70,16 @@ def check_conservation(
     """
     if proto == "tcp":
         delivered = counters.get("tcp_delivered_segments", 0)
+        # duplicate segments (fault-injected: TCP has no retransmission
+        # here) arrive at the NIC but are absorbed before delivery
+        fault_drops = counters.get("tcp_dup_segments", 0)
     elif proto == "udp":
         delivered = counters.get("udp_rcv_segments", 0)
+        fault_drops = 0
     else:
         raise ValueError(f"unknown proto {proto!r}")
+    # a blacked-out branch swallows packets after they cleared the NIC
+    fault_drops += counters.get("fault_branch_blackout", 0)
     return ConservationReport(
         sent_packets=sent_packets,
         received_at_nic=counters.get("nic_rx_packets", 0)
@@ -74,4 +88,5 @@ def check_conservation(
         backlog_drops=counters.get("backlog_drops", 0),
         delivered_segments=delivered,
         in_flight_estimate=in_flight_estimate,
+        fault_drops=fault_drops,
     )

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.analysis.bottleneck import BottleneckModel
 from repro.analysis.charts import bar_chart
+from repro.faults.plan import PLANS
 from repro.netstack.costs import DEFAULT_COSTS
 from repro.sim.units import MSEC
 from repro.workloads.memcached import run_memcached
@@ -36,6 +37,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--measure-ms", type=float, default=8.0)
 
 
+def _add_fault_plan(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault-plan", choices=sorted(PLANS), default=None, metavar="NAME",
+        help="named fault-injection plan (see `repro faults list`)",
+    )
+
+
 def _windows(args) -> dict:
     return {
         "warmup_ns": args.warmup_ms * MSEC,
@@ -46,7 +54,8 @@ def _windows(args) -> dict:
 def cmd_throughput(args) -> int:
     res = run_single_flow(
         args.system, args.proto, args.size, seed=args.seed,
-        batch_size=args.batch, n_split_cores=args.split_cores, **_windows(args),
+        batch_size=args.batch, n_split_cores=args.split_cores,
+        faults=args.fault_plan, **_windows(args),
     )
     if args.json:
         from repro.runner import scenario_result_to_dict
@@ -60,6 +69,14 @@ def cmd_throughput(args) -> int:
     print("  core utilization: " + " ".join(f"{u * 100:.0f}%" for u in res.cpu_utilization))
     if res.drops:
         print(f"  drops: {res.drops}")
+    if res.fault_plan:
+        print(f"  fault plan: {res.fault_plan}   counters: {res.fault_counters}")
+        if res.degradation_events:
+            print(f"  degradation events: {len(res.degradation_events)}")
+        print(
+            f"  conservation: {res.conservation_checks} checks, "
+            f"{res.conservation_violations} violations"
+        )
     return 0
 
 
@@ -77,7 +94,8 @@ def cmd_latency(args) -> int:
 
 def cmd_multiflow(args) -> int:
     res = run_multiflow(
-        args.system, args.flows, args.size, seed=args.seed, **_windows(args)
+        args.system, args.flows, args.size, seed=args.seed,
+        faults=args.fault_plan, **_windows(args)
     )
     print(
         f"{args.system} x{args.flows} flows ({args.size}B): "
@@ -100,10 +118,13 @@ def cmd_memcached(args) -> int:
 def cmd_compare(args) -> int:
     from repro.runner import RunEngine, RunSpec
 
+    params = {"proto": args.proto, "size": args.size}
+    if args.fault_plan:
+        params["faults"] = PLANS[args.fault_plan].to_dict()
     specs = [
         RunSpec.make(
             "sockperf",
-            {"system": system, "proto": args.proto, "size": args.size},
+            {"system": system, **params},
             seed=args.seed,
             tags=("compare", system, args.proto, str(args.size)),
             **_windows(args),
@@ -124,6 +145,15 @@ def cmd_compare(args) -> int:
     }
     print(bar_chart(data, unit=" Gbps", title=f"{args.proto} {args.size}B single flow"))
     return 0
+
+
+def cmd_faults(args) -> int:
+    if args.action == "list":
+        width = max(len(name) for name in PLANS)
+        for name in sorted(PLANS):
+            print(f"{name:<{width}}  {PLANS[name].describe()}")
+        return 0
+    raise SystemExit(f"unknown faults action {args.action!r}")
 
 
 def cmd_ceilings(args) -> int:
@@ -156,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--split-cores", type=int, default=2)
     p.add_argument("--json", action="store_true", help="emit the run record as JSON")
     _add_common(p)
+    _add_fault_plan(p)
     p.set_defaults(fn=cmd_throughput)
 
     p = sub.add_parser("latency", help="latency at ~90%% of capacity")
@@ -170,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flows", type=int, default=10)
     p.add_argument("--size", type=int, default=65536)
     _add_common(p)
+    _add_fault_plan(p)
     p.set_defaults(fn=cmd_multiflow)
 
     p = sub.add_parser("memcached", help="data-caching latency benchmark")
@@ -191,7 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--results-dir", default="results", help="artifact root (default ./results)"
     )
     _add_common(p)
+    _add_fault_plan(p)
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("faults", help="fault-injection plan registry")
+    p.add_argument("action", choices=["list"], help="what to do (list plans)")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("ceilings", help="analytic bottleneck upper bounds")
     p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")

@@ -60,6 +60,13 @@ class MflowPolicy(SteeringPolicy):
         self._region: frozenset = frozenset()
         self._built = False
         self._flow_plans: Dict[FlowKey, tuple] = {}
+        #: (core, weight) pairs claimed from the allocator per flow, so
+        #: retire_flow can hand the load back
+        self._flow_claims: Dict[FlowKey, List[tuple]] = {}
+        #: flows degraded to single-core vanilla steering (see quarantine_flow)
+        self._quarantined: set = set()
+        self.faults = None
+        self.health_monitor = None
         self._next_slot = 0
         self._allocator = PoolAllocator(self.core_pool) if self.core_pool else None
         #: pool-balancing weights: the dispatch half-softirq is light,
@@ -100,6 +107,18 @@ class MflowPolicy(SteeringPolicy):
         if not self._built:
             raise RuntimeError("MflowPolicy used before build_pipeline_stages()")
         dispatch_idx, branches, merge_idx, post_idx = self._plan_for_flow(skb.flow)
+        if self._quarantined and skb.flow in self._quarantined:
+            # degraded mode: the whole pre-merge path runs on the dispatch
+            # core — single-core vanilla steering, serialized end to end
+            if stage_name == self.merge_stage.name:
+                return self.cpus[merge_idx]
+            if (
+                stage_name == self.split_stage.name
+                or stage_name in self._pre_split
+                or stage_name in self._region
+            ):
+                return self.cpus[dispatch_idx]
+            return self.cpus[post_idx]
         if stage_name == self.split_stage.name or stage_name in self._pre_split:
             return self.cpus[dispatch_idx]
         if stage_name == self.merge_stage.name:
@@ -149,11 +168,14 @@ class MflowPolicy(SteeringPolicy):
                 taken: set = set()
                 dispatch = self._allocator.take(self.dispatch_weight, exclude=taken)
                 taken.add(dispatch)
+                claims = [(dispatch, self.dispatch_weight)]
                 branches = []
                 for _ in range(cfg.n_branches):
                     core = self._allocator.take(self.branch_weight, exclude=taken)
                     taken.add(core)
+                    claims.append((core, self.branch_weight))
                     branches.append(BranchPlan(default_core=core))
+                self._flow_claims[flow] = claims
             # in pool mode, merge + post-merge run in the flow's recvmsg
             # thread, i.e. on its application core
             app_idx = self.app_core_idx_for(flow)
@@ -165,6 +187,65 @@ class MflowPolicy(SteeringPolicy):
         if self.core_pool is None:
             return None
         return self._plan_for_flow(flow)[0]
+
+    def branch_cores_for(self, flow: FlowKey) -> List[Core]:
+        """Every core that executes in-region work for ``flow``."""
+        _, branches, _, _ = self._plan_for_flow(flow)
+        idxs = []
+        for plan in branches:
+            idxs.append(plan.default_core)
+            idxs.extend(plan.stage_cores.values())
+        return [self.cpus[i] for i in dict.fromkeys(idxs)]
+
+    # --------------------------------------------------- lifecycle / health
+    def retire_flow(self, flow: FlowKey) -> bool:
+        """Release everything held for ``flow``: its placement plan, the
+        pool-allocator load it claimed, and split/merge per-flow state."""
+        plan = self._flow_plans.pop(flow, None)
+        for core, weight in self._flow_claims.pop(flow, ()):
+            self._allocator.release(core, weight)
+        self._quarantined.discard(flow)
+        self.split_stage.retire_flow(flow)
+        self.merge_stage.retire_flow(flow)
+        return plan is not None
+
+    def quarantine_flow(self, flow: FlowKey) -> bool:
+        """Degrade ``flow`` to single-core vanilla steering (see
+        :mod:`repro.faults.health`).  Returns False if already degraded.
+
+        Only core *routing* changes: micro-flow IDs keep being assigned
+        and merged, but every pre-merge hop runs on the dispatch core, so
+        arrivals are serialized and the merge drains in order — the flow
+        cannot stall on a branch that never delivers.
+        """
+        if flow in self._quarantined:
+            return False
+        self._quarantined.add(flow)
+        return True
+
+    def readmit_flow(self, flow: FlowKey) -> bool:
+        """Restore split processing for a recovered flow."""
+        if flow not in self._quarantined:
+            return False
+        self._quarantined.discard(flow)
+        return True
+
+    def is_quarantined(self, flow: FlowKey) -> bool:
+        return flow in self._quarantined
+
+    def attach_faults(self, injectors) -> None:
+        """Wire fault injection into the split stage and start the
+        per-flow health monitor (active plans only)."""
+        self.faults = injectors
+        self.split_stage.faults = injectors
+        injectors.set_quarantine_check(self.is_quarantined)
+        if injectors.active:
+            from repro.faults.health import FlowHealthMonitor
+
+            self.health_monitor = FlowHealthMonitor(
+                self, injectors.sim, injectors.telemetry
+            )
+            self.health_monitor.arm()
 
     # ---------------------------------------------------------------- metrics
     @property

@@ -41,19 +41,24 @@ class _FlowMergeState:
         "proto",
         "key",
         "drained_current",
+        "skips",
     )
 
-    def __init__(self, n_branches: int):
+    def __init__(self, n_branches: int, now: float = 0.0):
         self.queues: List[Deque[Skb]] = [deque() for _ in range(n_branches)]
         self.counter = 0
         self.max_wire_seq = -1
         self.max_microflow = -1
         self.inverted: set = set()
         self.parked = 0
-        self.last_progress_ns = 0.0
+        # progress clock starts at the flow's first arrival, not sim time
+        # zero — a flow whose first packet shows up late must not trip the
+        # merge progress timeout immediately
+        self.last_progress_ns = now
         self.proto = ""
         self.key = None
         self.drained_current = 0
+        self.skips = 0  # this flow's share of merge_skips (health signal)
 
 
 class ReassemblyStage(Stage):
@@ -94,7 +99,7 @@ class ReassemblyStage(Stage):
         return costs.mflow_merge_per_skb_ns
 
     def process(self, skb: Skb, ctx: StageContext) -> List[Skb]:
-        st = self._state(skb.flow if self.per_flow else GLOBAL_KEY)
+        st = self._state(skb.flow if self.per_flow else GLOBAL_KEY, ctx.sim.now)
         # Fig. 7 metric: does this skb arrive at the merge point after a
         # packet that followed it on the wire already did?
         if skb.head.wire_seq < st.max_wire_seq:
@@ -124,13 +129,24 @@ class ReassemblyStage(Stage):
         return out
 
     # ------------------------------------------------------------- internals
-    def _state(self, flow: FlowKey) -> _FlowMergeState:
+    def _state(self, flow: FlowKey, now: float = 0.0) -> _FlowMergeState:
         st = self._flows.get(flow)
         if st is None:
-            st = self._flows[flow] = _FlowMergeState(self.n_branches)
+            st = self._flows[flow] = _FlowMergeState(self.n_branches, now=now)
             st.proto = flow.proto
             st.key = flow
         return st
+
+    def iter_flows(self):
+        """(flow, merge-state) pairs — read-only health introspection."""
+        return self._flows.items()
+
+    def retire_flow(self, flow: FlowKey) -> None:
+        """Drop per-flow merge state (no-op in aggregate mode)."""
+        if not self.per_flow:
+            return
+        self._flows.pop(flow, None)
+        self._timer_armed.pop(flow, None)
 
     def _advance(self, st: _FlowMergeState) -> None:
         st.inverted.discard(st.counter)
@@ -189,6 +205,7 @@ class ReassemblyStage(Stage):
                     self._advance(st)
                     switches += 1
                     self.merge_skips += 1
+                    st.skips += 1
                     ctx.telemetry.count("mflow_merge_skips")
                     continue
             # otherwise wait, unless clearly stalled by loss
@@ -196,6 +213,7 @@ class ReassemblyStage(Stage):
                 self._advance(st)
                 switches += 1
                 self.merge_skips += 1
+                st.skips += 1
                 ctx.telemetry.count("mflow_merge_skips")
                 continue
             break
@@ -227,6 +245,7 @@ class ReassemblyStage(Stage):
             if idle >= self.timeout_ns:
                 self._advance(state)
                 self.merge_skips += 1
+                state.skips += 1
                 state.last_progress_ns = sim.now
                 fake_ctx = StageContext(pipeline, node, core)
                 for skb in self._drain(state, fake_ctx):

@@ -53,6 +53,8 @@ class MicroflowSplitStage(Stage):
         self.batch_size = batch_size
         self.n_branches = n_branches
         self.per_flow = per_flow
+        #: optional FaultInjectors providing the branch-blackout hook
+        self.faults = None
         self._seen: Dict[FlowKey, int] = {}
         # actual segment count of each emitted micro-flow (a multi-segment
         # skb is never split across micro-flows, so sizes can exceed
@@ -77,6 +79,11 @@ class MicroflowSplitStage(Stage):
         size_key = (key, microflow)
         self._mf_sizes[size_key] = self._mf_sizes.get(size_key, 0) + skb.segs
         ctx.telemetry.count("mflow_split_packets", skb.segs)
+        # Branch blackout happens *after* size accounting: the merge must
+        # believe these segments exist so its liveness escapes engage —
+        # exactly the failure mode a dead branch core produces.
+        if self.faults is not None and self.faults.blackout_drop(skb):
+            return []
         return [skb]
 
     # ------------------------------------------------- reassembler interface
@@ -92,6 +99,15 @@ class MicroflowSplitStage(Stage):
     def forget_microflow(self, key: FlowKey, microflow: int) -> None:
         """Release bookkeeping for a fully merged micro-flow."""
         self._mf_sizes.pop((key, microflow), None)
+
+    def retire_flow(self, flow: FlowKey) -> None:
+        """Drop per-flow batching state (no-op in aggregate mode, where
+        the counter is shared by every flow)."""
+        if not self.per_flow:
+            return
+        self._seen.pop(flow, None)
+        for size_key in [k for k in self._mf_sizes if k[0] == flow]:
+            del self._mf_sizes[size_key]
 
     def microflows_emitted(self, flow: FlowKey) -> int:
         """How many micro-flows this flow (or the aggregate stream, in

@@ -41,6 +41,9 @@ class Softirq:
         self.name = name
         self.handler = handler
         self.entry_cost_ns = entry_cost_ns
+        #: fault injection: extra latency before a remote raise lands on
+        #: its target core (0 = IPIs deliver instantly, the default)
+        self.ipi_delay_ns = 0.0
         self._pending: Dict[int, bool] = {}
         self.raises = 0
         self.ipis = 0
@@ -64,10 +67,14 @@ class Softirq:
         """
         if self._pending.get(to_core.id, False):
             return
-        if from_core is not None and from_core.id != to_core.id:
+        remote = from_core is not None and from_core.id != to_core.id
+        if remote:
             self.ipis += 1
             from_core.submit_call(f"ipi:{self.name}", IPI_COST_NS, _noop)
-        self.raise_on(to_core)
+        if remote and self.ipi_delay_ns > 0.0:
+            to_core.sim.call_in(self.ipi_delay_ns, self.raise_on, to_core)
+        else:
+            self.raise_on(to_core)
 
     def _run(self, core: Core) -> None:
         self._pending[core.id] = False

@@ -117,6 +117,7 @@ TAG_GROUPS: Dict[str, str] = {
     "pkt_reorder_ooo": "steering",
     "send_syscall": "sender",
     "send_xmit": "sender",
+    "fault_stall": "faults",
 }
 
 

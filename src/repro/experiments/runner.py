@@ -25,6 +25,7 @@ import time
 from typing import Callable, Dict
 
 from repro.experiments import (
+    chaos_matrix,
     fig4_motivation,
     fig7_batch_size,
     fig8_throughput,
@@ -49,6 +50,7 @@ MODULES = {
     "fig13": fig13_memcached,
     "sensitivity": sensitivity,
     "extensions": extensions,
+    "chaos": chaos_matrix,
 }
 
 #: name -> one-call library entry point (kept for tests and interactive use)

@@ -1,0 +1,144 @@
+"""Per-flow MFLOW health monitoring and graceful degradation.
+
+Packet-level parallelism buys throughput at the price of a fragile merge
+point: under loss, reordering or a stalled branch core, the reassembler
+burns through its liveness escapes (merge skips, parked-skb pressure)
+instead of making clean progress.  The :class:`FlowHealthMonitor`
+periodically inspects each flow's merge state and branch cores and, when
+a flow looks sick, *quarantines* it: the policy re-steers every stage of
+that flow onto its dispatch core — operationally vanilla single-core
+steering, which cannot deadlock on a missing micro-flow because arrivals
+are serialized end to end.  A quarantined flow that stays clean for
+``readmit_clean_checks`` consecutive checks is re-admitted to split
+processing (hysteresis, so a marginal flow does not flap every check).
+
+Telemetry: ``mflow_degraded`` / ``mflow_readmitted`` counters plus a
+structured ``events`` list the scenario exports into run records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netstack.packet import FlowKey
+
+
+def flow_label(flow: FlowKey) -> str:
+    return f"{flow.src}:{flow.sport}->{flow.dst}:{flow.dport}/{flow.proto}"
+
+
+class FlowHealthMonitor:
+    """Watches merge-skip storms, parked pressure, and branch stalls."""
+
+    def __init__(
+        self,
+        policy,
+        sim,
+        telemetry,
+        check_interval_ns: float = 500_000.0,
+        skip_storm_threshold: int = 3,
+        parked_threshold: int = 0,
+        stall_depth_threshold: int = 2048,
+        readmit_clean_checks: int = 10,
+    ):
+        if check_interval_ns <= 0.0:
+            raise ValueError("check interval must be positive")
+        self.policy = policy
+        self.merge = policy.merge_stage
+        self.sim = sim
+        self.telemetry = telemetry
+        self.check_interval_ns = check_interval_ns
+        #: cumulative merge skips (since the last state change) that mark a
+        #: flow as sick — healthy merges skip exactly never
+        self.skip_storm_threshold = skip_storm_threshold
+        #: parked skbs that mark the merge as pressured; default derives
+        #: from the stage's own stall threshold
+        self.parked_threshold = parked_threshold or max(
+            64, self.merge.stall_skbs // 2
+        )
+        #: branch-core run-queue depth treated as a stall signal; healthy
+        #: mflow branches burst to a few hundred entries, a stalled core
+        #: accumulates without bound
+        self.stall_depth_threshold = stall_depth_threshold
+        self.readmit_clean_checks = readmit_clean_checks
+        self._skips_at_transition: Dict[FlowKey, int] = {}
+        self._clean_streak: Dict[FlowKey, int] = {}
+        self.events: List[dict] = []
+        self.checks = 0
+
+    def arm(self) -> None:
+        self.sim.call_in(self.check_interval_ns, self._tick)
+
+    # ------------------------------------------------------------- inspection
+    def _branch_stalled(self, flow: FlowKey) -> bool:
+        for core in self.policy.branch_cores_for(flow):
+            if core.queue_depth >= self.stall_depth_threshold:
+                return True
+        return False
+
+    def _sick_reason(self, flow: FlowKey, state) -> str:
+        skips = state.skips - self._skips_at_transition.get(flow, 0)
+        if skips >= self.skip_storm_threshold:
+            return "merge_skip_storm"
+        if state.parked >= self.parked_threshold:
+            return "parked_pressure"
+        if self._branch_stalled(flow):
+            return "branch_stall"
+        return ""
+
+    # ------------------------------------------------------------ transitions
+    def _degrade(self, flow: FlowKey, state, reason: str) -> None:
+        if not self.policy.quarantine_flow(flow):
+            return
+        self._skips_at_transition[flow] = state.skips
+        self._clean_streak[flow] = 0
+        self.telemetry.count("mflow_degraded")
+        self.events.append(
+            {
+                "t_ns": self.sim.now,
+                "event": "mflow_degraded",
+                "flow": flow_label(flow),
+                "reason": reason,
+                "merge_skips": state.skips,
+                "parked": state.parked,
+            }
+        )
+
+    def _readmit(self, flow: FlowKey, state) -> None:
+        if not self.policy.readmit_flow(flow):
+            return
+        self._skips_at_transition[flow] = state.skips
+        self._clean_streak[flow] = 0
+        self.telemetry.count("mflow_readmitted")
+        self.events.append(
+            {
+                "t_ns": self.sim.now,
+                "event": "mflow_readmitted",
+                "flow": flow_label(flow),
+            }
+        )
+
+    def check_once(self) -> None:
+        """One health pass over every flow the merge has seen."""
+        self.checks += 1
+        for flow, state in list(self.merge.iter_flows()):
+            if self.policy.is_quarantined(flow):
+                reason = self._sick_reason(flow, state)
+                if reason:
+                    # still sick: restart the clean streak and re-baseline
+                    # skips so recovery is measured from now
+                    self._clean_streak[flow] = 0
+                    self._skips_at_transition[flow] = state.skips
+                    continue
+                streak = self._clean_streak.get(flow, 0) + 1
+                self._clean_streak[flow] = streak
+                if streak >= self.readmit_clean_checks:
+                    self._readmit(flow, state)
+            else:
+                reason = self._sick_reason(flow, state)
+                if reason:
+                    self._degrade(flow, state, reason)
+
+    def _tick(self) -> None:
+        self.check_once()
+        self.sim.call_in(self.check_interval_ns, self._tick)

@@ -52,13 +52,23 @@ class _RxQueue:
         if self.irq_enabled:
             self.irq_enabled = False
             self.nic.telemetry.count("nic_irqs")
-            # The IRQ top half runs on the affine core and raises NAPI.
-            self.core.submit_call(
-                f"irq:{self.nic.name}",
-                self.nic.costs.irq_cost_ns,
-                self.napi.raise_on,
-                self.core,
-            )
+            faults = self.nic.faults
+            delay = faults.irq_fire_delay() if faults is not None else 0.0
+            if delay > 0.0:
+                # fault injection: the interrupt is held back (moderation
+                # gone wrong / a hypervisor absorbing the vector)
+                self.nic.sim.call_in(delay, self._fire_irq)
+            else:
+                self._fire_irq()
+
+    def _fire_irq(self) -> None:
+        # The IRQ top half runs on the affine core and raises NAPI.
+        self.core.submit_call(
+            f"irq:{self.nic.name}",
+            self.nic.costs.irq_cost_ns,
+            self.napi.raise_on,
+            self.core,
+        )
 
     def _poll(self, core: Core) -> bool:
         batch = self.ring.pop_up_to(self.nic.costs.napi_budget)
@@ -101,6 +111,8 @@ class Nic:
         self.pipeline = pipeline
         self.telemetry = telemetry
         self.name = name
+        #: optional FaultInjectors (ring shrink / IRQ delay hooks)
+        self.faults = None
         cores = rss_cores if rss_cores else [irq_core]
         self._queues = [_RxQueue(self, i, core) for i, core in enumerate(cores)]
         self._queue_by_core = {q.core.id: q for q in self._queues}
@@ -145,18 +157,49 @@ class Wire:
     ablation configurations.
     """
 
-    def __init__(self, sim: Simulator, costs: CostModel, dst: Nic):
+    def __init__(self, sim: Simulator, costs: CostModel, dst: Nic, faults=None):
         self.sim = sim
         self.costs = costs
         self.dst = dst
+        #: optional FaultInjectors (loss/dup/corrupt/reorder/jitter/clamp)
+        self.faults = faults
         self._next_free_ns = 0.0
         self.bytes_carried = 0
+        #: frames handed to the wire by senders, *before* fault injection —
+        #: the conservation watchdog's notion of "sent"
+        self.packets_carried = 0
 
     def send(self, pkt: Packet) -> None:
         """Transmit one frame towards the destination NIC."""
-        ser_ns = pkt.wire_bytes * 8.0 / self.costs.link_gbps
+        self.packets_carried += 1
+        faults = self.faults
+        if faults is not None and faults.wire_active and faults.in_window():
+            fates = faults.wire_frame_fate(pkt)
+            if not fates:
+                # lost/corrupted in flight: the sender still serialized the
+                # frame, so it occupies the link exactly as a delivery would
+                # (surviving frames keep their fault-free schedule)
+                self._occupy(pkt)
+                return
+            base = self._occupy(fates[0][0])
+            for frame, extra_ns in fates:
+                # duplicates ride the same serialization slot: an in-network
+                # copy does not consume sender line time twice
+                self.sim.call_at(base + extra_ns, self.dst.receive, frame)
+            return
+        self._transmit(pkt, 0.0)
+
+    def _occupy(self, pkt: Packet) -> float:
+        """Serialize one frame onto the link; returns its base arrival time."""
+        gbps = self.costs.link_gbps
+        if self.faults is not None:
+            gbps = self.faults.link_gbps(gbps)
+        ser_ns = pkt.wire_bytes * 8.0 / gbps
         start = max(self.sim.now, self._next_free_ns)
         self._next_free_ns = start + ser_ns
         self.bytes_carried += pkt.wire_bytes
-        arrival = self._next_free_ns + self.costs.wire_delay_ns
+        return self._next_free_ns + self.costs.wire_delay_ns
+
+    def _transmit(self, pkt: Packet, extra_ns: float) -> None:
+        arrival = self._occupy(pkt) + extra_ns
         self.sim.call_at(arrival, self.dst.receive, pkt)

@@ -65,6 +65,7 @@ def sockperf_factory(
         batch_size=int(params.get("batch_size", 256)),
         n_split_cores=int(params.get("n_split_cores", 2)),
         interval_ns=params.get("interval_ns"),
+        faults=params.get("faults"),
     )
     return _scenario_measurements(res)
 
@@ -117,6 +118,7 @@ def multiflow_factory(
         warmup_ns=warmup_ns,
         measure_ns=measure_ns,
         placement=params.get("placement", "least-loaded"),
+        faults=params.get("faults"),
     )
     return _scenario_measurements(res)
 

@@ -46,6 +46,11 @@ def scenario_result_to_dict(res: ScenarioResult) -> Dict[str, Any]:
         "ooo_arrivals": res.ooo_arrivals,
         "window_ns": res.window_ns,
         "events_executed": res.events_executed,
+        "fault_plan": res.fault_plan,
+        "fault_counters": dict(res.fault_counters),
+        "degradation_events": [dict(e) for e in res.degradation_events],
+        "conservation_checks": res.conservation_checks,
+        "conservation_violations": res.conservation_violations,
     }
 
 
@@ -61,6 +66,13 @@ def scenario_result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
         ooo_arrivals=int(data.get("ooo_arrivals", 0)),
         window_ns=float(data.get("window_ns", 0.0)),
         events_executed=int(data.get("events_executed", 0)),
+        fault_plan=str(data.get("fault_plan", "")),
+        fault_counters={
+            k: int(v) for k, v in data.get("fault_counters", {}).items()
+        },
+        degradation_events=[dict(e) for e in data.get("degradation_events", [])],
+        conservation_checks=int(data.get("conservation_checks", 0)),
+        conservation_violations=int(data.get("conservation_violations", 0)),
     )
 
 

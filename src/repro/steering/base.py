@@ -93,6 +93,18 @@ class SteeringPolicy:
         """Transform the datapath stage list (identity for baselines)."""
         return stages
 
+    def attach_faults(self, injectors) -> None:
+        """Hook for policies that react to fault injection (MFLOW wires
+        its blackout hook and health monitor here); baselines ignore it."""
+
+    def retire_flow(self, flow: FlowKey) -> bool:
+        """Release per-flow steering state when a flow ends.
+
+        Returns True when the policy actually held state for ``flow``.
+        Baselines keep no per-flow resources worth reclaiming.
+        """
+        return False
+
     @property
     def name(self) -> str:
         return type(self).__name__.replace("Policy", "").lower()
@@ -120,6 +132,16 @@ class PoolAllocator:
         best = min(candidates, key=lambda c: (self.load[c], c))
         self.load[best] += weight
         return best
+
+    def release(self, core: int, weight: float) -> None:
+        """Return a claimed weight to the pool (flow retired).
+
+        Without this, long-running multi-flow scenarios accrete phantom
+        load from departed flows and least-loaded placement skews.
+        """
+        if core not in self.load:
+            raise KeyError(f"core {core} is not in the pool")
+        self.load[core] = max(0.0, self.load[core] - weight)
 
 
 class StaticRolePolicy(SteeringPolicy):

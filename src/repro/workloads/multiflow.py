@@ -74,6 +74,7 @@ def build_multiflow_scenario(
     seed: int = 0,
     batch_size: int = 256,
     placement: str = "least-loaded",
+    faults=None,
 ) -> Scenario:
     """Assemble an ``n_flows``-flow overlay TCP scenario."""
     if n_flows < 1:
@@ -86,6 +87,7 @@ def build_multiflow_scenario(
         seed=seed,
         n_receiver_cores=N_CORES,
         rss_core_indices=KERNEL_POOL,
+        faults=faults,
     )
     for i in range(n_flows):
         sc.add_tcp_sender(message_size, flow=make_flow("tcp", i))
@@ -101,10 +103,12 @@ def run_multiflow(
     warmup_ns: float = 2 * MSEC,
     measure_ns: float = 8 * MSEC,
     placement: str = "least-loaded",
+    faults=None,
 ) -> ScenarioResult:
     """One cell of Fig. 10 (aggregate TCP throughput)."""
     sc = build_multiflow_scenario(
-        system, n_flows, message_size, costs=costs, seed=seed, placement=placement
+        system, n_flows, message_size, costs=costs, seed=seed, placement=placement,
+        faults=faults,
     )
     return sc.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
 

@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.cpu.topology import CpuSet
+from repro.faults.injectors import FaultInjectors
+from repro.faults.plan import FaultPlanLike, resolve_fault_plan
+from repro.faults.watchdog import ConservationWatchdog
 from repro.metrics.summary import LatencySummary, summarize_latencies
 from repro.metrics.telemetry import Telemetry
 from repro.netstack.costs import DEFAULT_COSTS, CostModel
@@ -55,6 +58,12 @@ class ScenarioResult:
     ooo_arrivals: int = 0
     window_ns: float = 0.0
     events_executed: int = 0
+    #: fault-injection ledger (empty when the run had no active plan)
+    fault_plan: str = ""
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+    degradation_events: List[Dict] = field(default_factory=list)
+    conservation_checks: int = 0
+    conservation_violations: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - convenience printer
         return (
@@ -76,6 +85,7 @@ class Scenario:
         n_receiver_cores: int = 8,
         irq_core: int = 1,
         rss_core_indices: Optional[List[int]] = None,
+        faults: FaultPlanLike = None,
     ):
         if proto not in ("tcp", "udp"):
             raise ValueError(f"proto must be 'tcp' or 'udp', got {proto!r}")
@@ -86,6 +96,15 @@ class Scenario:
         self.sim = Simulator()
         self.rngs = RngStreams(seed)
         self.telemetry = Telemetry(self.sim)
+        # An inert plan resolves to None: the zero-fault path builds the
+        # exact same object graph and event schedule as no plan at all.
+        self.fault_plan = resolve_fault_plan(faults)
+        self.faults: Optional[FaultInjectors] = None
+        self.watchdog: Optional[ConservationWatchdog] = None
+        if self.fault_plan is not None:
+            self.faults = FaultInjectors(
+                self.fault_plan, self.sim, self.rngs, self.telemetry
+            )
         self.cpus = CpuSet(
             self.sim,
             n_receiver_cores,
@@ -123,7 +142,18 @@ class Scenario:
             self.telemetry,
             rss_cores=rss_cores,
         )
-        self.wire = Wire(self.sim, self.costs, self.nic)
+        self.wire = Wire(self.sim, self.costs, self.nic, faults=self.faults)
+        if self.faults is not None:
+            self.nic.faults = self.faults
+            self.faults.apply_to_nic(self.nic)
+            self.policy.attach_faults(self.faults)
+            self.watchdog = ConservationWatchdog(
+                self.sim,
+                self.telemetry,
+                proto,
+                lambda: self.wire.packets_carried,
+                period_ns=self.fault_plan.watchdog_period_ns,
+            )
 
         self._senders: Dict[FlowKey, object] = {}
         self._client_count = 0
@@ -211,6 +241,11 @@ class Scenario:
         """Start all senders, warm up, measure, and summarize."""
         if not self._senders:
             raise RuntimeError("no senders configured")
+        if self.faults is not None:
+            self.faults.stall_horizon_ns = warmup_ns + measure_ns
+            self.faults.schedule_core_stalls(self.cpus)
+        if self.watchdog is not None:
+            self.watchdog.arm()
         for i, sender in enumerate(self._senders.values()):
             # small stagger so clients do not start in lockstep
             self.sim.call_in(i * 1_000.0, sender.start)
@@ -226,6 +261,12 @@ class Scenario:
         ooo = 0
         if hasattr(self.policy, "ooo_arrivals"):
             ooo = self.policy.ooo_arrivals
+        checks = violations = 0
+        if self.watchdog is not None:
+            self.watchdog.check_now()  # final invariant check at run end
+            checks = self.watchdog.checks
+            violations = len(self.watchdog.violations)
+        monitor = getattr(self.policy, "health_monitor", None)
         return ScenarioResult(
             throughput_gbps=self.telemetry.window_rate_gbps(bytes_counter),
             messages_delivered=self.telemetry.window_count(
@@ -239,4 +280,9 @@ class Scenario:
             ooo_arrivals=ooo,
             window_ns=window_ns,
             events_executed=self.sim.events_executed,
+            fault_plan=self.fault_plan.name if self.fault_plan else "",
+            fault_counters=self.faults.summary() if self.faults else {},
+            degradation_events=list(monitor.events) if monitor else [],
+            conservation_checks=checks,
+            conservation_violations=violations,
         )

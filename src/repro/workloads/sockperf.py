@@ -30,6 +30,7 @@ from repro.sim.units import MSEC
 from repro.steering.base import SteeringPolicy
 from repro.steering.falcon import FalconDevPolicy, FalconFunPolicy
 from repro.steering.rps import RpsPolicy
+from repro.steering.rss import RssPolicy
 from repro.steering.vanilla import VanillaPolicy
 from repro.workloads.scenario import Scenario, ScenarioResult
 
@@ -37,7 +38,11 @@ from repro.workloads.scenario import Scenario, ScenarioResult
 SYSTEMS = ("native", "vanilla", "rps", "falcon", "mflow")
 
 #: extended set including FALCON's two modes separately (Fig. 4 uses both)
-ALL_SYSTEMS = ("native", "vanilla", "rps", "falcon-dev", "falcon-fun", "falcon", "mflow")
+#: plus hardware RSS (inter-flow hashing only — the chaos matrix baseline
+#: that benefits from multiple UDP clients but not from intra-flow splits)
+ALL_SYSTEMS = (
+    "native", "vanilla", "rps", "rss", "falcon-dev", "falcon-fun", "falcon", "mflow"
+)
 
 #: clients per protocol (paper: one TCP client; three UDP clients because
 #: a single UDP client core saturates before the receiver does)
@@ -56,6 +61,10 @@ def policy_factory(
             return VanillaPolicy(cpus, app_core=0, role_cores={"first": 1})
         if system == "rps":
             return RpsPolicy(cpus, app_core=0, role_cores={"first": 1, "steer": 2})
+        if system == "rss":
+            # hardware hashing over three kernel cores; a single flow still
+            # lands whole on one of them
+            return RssPolicy(cpus, app_core=0, core_pool=[1, 2, 3], placement="hash")
         if system == "falcon-dev":
             return FalconDevPolicy(
                 cpus, app_core=0, role_cores={"first": 1, "vxlan": 2, "rest": 3}
@@ -104,6 +113,7 @@ def build_scenario(
     n_split_cores: int = 2,
     n_receiver_cores: int = 8,
     interval_ns: Optional[float] = None,
+    faults=None,
 ) -> Scenario:
     """Assemble the single-flow scenario for one (system, proto, size)."""
     sc = Scenario(
@@ -113,6 +123,9 @@ def build_scenario(
         costs=costs,
         seed=seed,
         n_receiver_cores=n_receiver_cores,
+        # real RSS spreads RX queues across its core pool
+        rss_core_indices=[1, 2, 3] if system == "rss" else None,
+        faults=faults,
     )
     for _ in range(CLIENTS[proto]):
         if proto == "tcp":
@@ -133,6 +146,7 @@ def run_single_flow(
     batch_size: int = 256,
     n_split_cores: int = 2,
     interval_ns: Optional[float] = None,
+    faults=None,
 ) -> ScenarioResult:
     """Run one cell of Fig. 4a / Fig. 8a / Fig. 9."""
     sc = build_scenario(
@@ -144,6 +158,7 @@ def run_single_flow(
         batch_size=batch_size,
         n_split_cores=n_split_cores,
         interval_ns=interval_ns,
+        faults=faults,
     )
     return sc.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
 

@@ -12,7 +12,8 @@ class TestCli:
         actions = {a.dest: a for a in parser._actions}
         choices = actions["command"].choices
         assert set(choices) == {
-            "throughput", "latency", "multiflow", "memcached", "compare", "ceilings",
+            "throughput", "latency", "multiflow", "memcached", "compare",
+            "ceilings", "faults",
         }
 
     def test_throughput_command_runs(self, capsys):

@@ -172,6 +172,92 @@ class TestLossRecovery:
         assert h.telemetry.get("mflow_late_stragglers") >= 1
 
 
+class TestProgressClock:
+    def test_state_initialized_at_first_arrival(self):
+        """Regression: a flow whose first packet arrives late must start
+        its progress clock at that arrival, not at sim time zero —
+        otherwise the merge progress timeout fires spuriously."""
+        h, merge, sink = merge_harness(timeout=1e9)
+        h.sim.call_at(500_000.0, lambda: None)
+        h.run()  # advance well past t=0 before the first packet shows up
+        assert h.sim.now == 500_000.0
+        skb = tagged_skbs(1, batch=2, branches=2)[0]
+        h.inject(skb)
+        h.run()
+        state = dict(merge.iter_flows())[TEST_FLOW]
+        assert state.last_progress_ns >= 500_000.0
+
+    def test_late_first_arrival_not_skipped_by_timer(self):
+        """With the clock fixed, a micro-flow that starts late gets its
+        full timeout of patience before the liveness escape fires."""
+        h, merge, sink = merge_harness(timeout=100_000.0, stall=10_000)
+        h.sim.call_at(400_000.0, lambda: None)
+        h.run()
+        # half of micro-flow 0 arrives at t=400us and waits for its tail
+        skbs = tagged_skbs(4, batch=2, branches=2)
+        h.inject(skbs[0])
+        h.run(until_ns=450_000.0)  # less than timeout after arrival
+        assert merge.merge_skips == 0
+        h.inject(skbs[1])  # the tail shows up within the timeout
+        h.run(until_ns=600_000.0)
+        assert [s.flow_serial for s in sink.received] == [0, 1]
+        assert merge.merge_skips == 0
+
+    def test_per_flow_skip_counter_tracks_merge_skips(self):
+        h, merge, sink = merge_harness(stall=3, timeout=1e9)
+        skbs = tagged_skbs(8, batch=2, branches=2)
+        for skb in skbs[2:]:  # micro-flow 0 lost entirely
+            h.inject(skb)
+        h.run()
+        state = dict(merge.iter_flows())[TEST_FLOW]
+        assert state.skips == merge.merge_skips >= 1
+
+
+class TestLossEscapesUnderUdpLoss:
+    """Merge liveness escapes driven by deterministically injected UDP
+    loss: delivery must keep its ordering invariants while the counter
+    skips over the gaps."""
+
+    def _run_with_loss(self, lost_serials, n=24, batch=2, branches=2):
+        h, merge, sink = merge_harness(timeout=50_000.0, stall=10_000)
+        skbs = tagged_skbs(n, batch=batch, branches=branches, flow=TEST_UDP_FLOW)
+        for skb in skbs:
+            if skb.flow_serial not in lost_serials:
+                h.inject(skb)
+        h.run(until_ns=5e6)
+        return h, merge, sink
+
+    def test_skips_counted_and_delivery_continues(self):
+        lost = {4, 5}  # micro-flow 2 never arrives
+        h, merge, sink = self._run_with_loss(lost)
+        assert h.telemetry.get("mflow_merge_skips") >= 1
+        assert merge.merge_skips >= 1
+        delivered = [s.flow_serial for s in sink.received]
+        assert set(delivered) == set(range(24)) - lost
+
+    def test_delivered_serials_unique(self):
+        h, merge, sink = self._run_with_loss({7, 10, 11})
+        delivered = [s.flow_serial for s in sink.received]
+        assert len(delivered) == len(set(delivered))
+
+    def test_in_microflow_order_preserved(self):
+        """Whatever the counter skips, the segments of each surviving
+        micro-flow must still come out in wire order."""
+        h, merge, sink = self._run_with_loss({2, 9})
+        per_mf = {}
+        for s in sink.received:
+            per_mf.setdefault(s.microflow_id, []).append(s.flow_serial)
+        for mf, serials in per_mf.items():
+            assert serials == sorted(serials), f"micro-flow {mf} out of order"
+
+    def test_stage_level_conservation(self):
+        """Injected minus lost equals delivered plus still-parked."""
+        lost = {0, 1, 13}
+        h, merge, sink = self._run_with_loss(lost)
+        injected = 24 - len(lost)
+        assert len(sink.received) + merge.parked_total() == injected
+
+
 class TestPerPacketReorder:
     def test_restores_order(self):
         sink = CountingSink()
