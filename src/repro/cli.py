@@ -7,17 +7,22 @@
     python -m repro multiflow  --system falcon --flows 10
     python -m repro memcached  --system mflow --clients 10
     python -m repro compare    --proto tcp --size 65536
+    python -m repro trace      --system mflow --perfetto out.json --decompose
+    python -m repro faults     show loss-burst
     python -m repro ceilings   --proto udp
 
 Every subcommand prints a small table; ``compare`` adds an ASCII bar
-chart; ``ceilings`` prints the closed-form bottleneck model's analytic
-upper bounds (no simulation).
+chart; ``trace`` runs one instrumented scenario and exports flight-
+recorder artifacts (Perfetto trace, interval CSV, latency decomposition);
+``ceilings`` prints the closed-form bottleneck model's analytic upper
+bounds (no simulation).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -51,6 +56,41 @@ def _windows(args) -> dict:
     }
 
 
+def _format_degradation(events) -> List[str]:
+    """Human-readable lines for mflow_degraded / mflow_readmitted events."""
+    lines = []
+    for e in events:
+        t_ms = e.get("t_ns", 0.0) / 1e6
+        if e.get("event") == "mflow_degraded":
+            lines.append(
+                f"  {t_ms:8.3f} ms  DEGRADE  {e.get('flow', '?')}  "
+                f"reason={e.get('reason', '?')} "
+                f"merge_skips={e.get('merge_skips', 0)} parked={e.get('parked', 0)}"
+            )
+        else:
+            lines.append(f"  {t_ms:8.3f} ms  READMIT  {e.get('flow', '?')}")
+    return lines
+
+
+def _print_fault_report(res, indent: str = "  ") -> None:
+    """The run's fault ledger + degradation timeline, human-readably."""
+    if res.fault_counters:
+        width = max(len(k) for k in res.fault_counters)
+        print(f"{indent}fault ledger:")
+        for name in sorted(res.fault_counters):
+            print(f"{indent}  {name:<{width}}  {res.fault_counters[name]}")
+    else:
+        print(f"{indent}fault ledger: (no faults fired in the window)")
+    if res.degradation_events:
+        print(f"{indent}degradation timeline ({len(res.degradation_events)} events):")
+        for line in _format_degradation(res.degradation_events):
+            print(indent + line)
+    print(
+        f"{indent}conservation: {res.conservation_checks} checks, "
+        f"{res.conservation_violations} violations"
+    )
+
+
 def cmd_throughput(args) -> int:
     res = run_single_flow(
         args.system, args.proto, args.size, seed=args.seed,
@@ -70,13 +110,8 @@ def cmd_throughput(args) -> int:
     if res.drops:
         print(f"  drops: {res.drops}")
     if res.fault_plan:
-        print(f"  fault plan: {res.fault_plan}   counters: {res.fault_counters}")
-        if res.degradation_events:
-            print(f"  degradation events: {len(res.degradation_events)}")
-        print(
-            f"  conservation: {res.conservation_checks} checks, "
-            f"{res.conservation_violations} violations"
-        )
+        print(f"  fault plan: {res.fault_plan}")
+        _print_fault_report(res)
     return 0
 
 
@@ -140,11 +175,86 @@ def cmd_compare(args) -> int:
     if args.json:
         print(json.dumps([r.to_json_dict() for r in records], indent=1))
         return 0
-    data = {
-        r.params["system"]: r.scenario_result().throughput_gbps for r in records
-    }
+    results = {r.params["system"]: r.scenario_result() for r in records}
+    data = {system: res.throughput_gbps for system, res in results.items()}
     print(bar_chart(data, unit=" Gbps", title=f"{args.proto} {args.size}B single flow"))
+    if args.fault_plan:
+        print(f"\nfault plan: {args.fault_plan}")
+        for system, res in results.items():
+            print(f"{system}:")
+            _print_fault_report(res)
     return 0
+
+
+def cmd_trace(args) -> int:
+    """One instrumented run + flight-recorder artifact export."""
+    from repro.obs import decompose, write_trace
+    from repro.workloads.sockperf import build_scenario
+
+    sc = build_scenario(
+        args.system, args.proto, args.size, seed=args.seed,
+        batch_size=args.batch, n_split_cores=args.split_cores,
+        n_receiver_cores=args.cores, faults=args.fault_plan,
+        obs={
+            "enabled": True,
+            "interval_ns": args.interval_us * 1e3,
+            "capacity": args.capacity,
+        },
+    )
+    res = sc.run(**_windows(args))
+    if args.json:
+        from repro.runner import scenario_result_to_dict
+
+        out = scenario_result_to_dict(res)
+        out.update(system=args.system, proto=args.proto, size=args.size)
+        print(json.dumps(out, indent=1))
+        return 0
+    rec = sc.recorder
+    print(
+        f"{args.system} {args.proto} {args.size}B: {res.throughput_gbps:.2f} Gbps, "
+        f"{res.messages_delivered} msgs"
+    )
+    print(
+        f"  flight recorder: {rec.events_seen} events seen, {rec.events_kept} kept, "
+        f"{len(rec.cores())} core tracks"
+    )
+    perfetto_path, timeseries_path = args.perfetto, args.timeseries
+    if perfetto_path is None and timeseries_path is None:
+        # no explicit destinations: drop both artifacts under --out-dir
+        os.makedirs(args.out_dir, exist_ok=True)
+        stem = f"{args.system}_{args.proto}_{args.size}"
+        perfetto_path = os.path.join(args.out_dir, f"{stem}.trace.json")
+        timeseries_path = os.path.join(args.out_dir, f"{stem}.timeseries.csv")
+    if perfetto_path:
+        _ensure_parent(perfetto_path)
+        write_trace(rec, perfetto_path, label=f"{args.system}/{args.proto}")
+        print(f"  perfetto trace -> {perfetto_path}  (open at https://ui.perfetto.dev)")
+    if timeseries_path:
+        _ensure_parent(timeseries_path)
+        n = sc.intervals.write_csv(timeseries_path)
+        print(
+            f"  time series    -> {timeseries_path}  "
+            f"({n} intervals x {len(sc.intervals.columns())} columns)"
+        )
+    dec = decompose(sc.journeys)
+    if args.decompose:
+        print()
+        print(dec.report())
+    else:
+        print(
+            f"  decomposition: {dec.n_journeys} journeys, "
+            f"mean e2e {dec.e2e_mean_us:.2f} us (--decompose for the breakdown)"
+        )
+    if res.fault_plan:
+        print(f"  fault plan: {res.fault_plan}")
+        _print_fault_report(res)
+    return 0
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
 
 
 def cmd_faults(args) -> int:
@@ -152,6 +262,24 @@ def cmd_faults(args) -> int:
         width = max(len(name) for name in PLANS)
         for name in sorted(PLANS):
             print(f"{name:<{width}}  {PLANS[name].describe()}")
+        return 0
+    if args.action == "show":
+        if not args.plan:
+            raise SystemExit("faults show requires a plan name (see `repro faults list`)")
+        if args.plan not in PLANS:
+            raise SystemExit(
+                f"unknown fault plan {args.plan!r}; see `repro faults list`"
+            )
+        res = run_single_flow(
+            args.system, args.proto, args.size, seed=args.seed,
+            faults=args.plan, **_windows(args),
+        )
+        print(f"{args.plan}: {PLANS[args.plan].describe()}")
+        print(
+            f"{args.system} {args.proto} {args.size}B under {args.plan}: "
+            f"{res.throughput_gbps:.2f} Gbps, {res.messages_delivered} msgs"
+        )
+        _print_fault_report(res)
         return 0
     raise SystemExit(f"unknown faults action {args.action!r}")
 
@@ -226,8 +354,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_plan(p)
     p.set_defaults(fn=cmd_compare)
 
+    p = sub.add_parser(
+        "trace", help="instrumented run + Perfetto/CSV/decomposition export"
+    )
+    p.add_argument("--system", choices=ALL_SYSTEMS, default="mflow")
+    p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument("--split-cores", type=int, default=2)
+    p.add_argument("--cores", type=int, default=8, help="receiver cores")
+    p.add_argument(
+        "--interval-us", type=float, default=100.0,
+        help="interval-metrics sampling period in microseconds",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=200_000,
+        help="flight-recorder event capacity (reservoir-sampled past it)",
+    )
+    p.add_argument(
+        "--perfetto", metavar="PATH", default=None,
+        help="write a Chrome trace_events JSON for chrome://tracing / Perfetto",
+    )
+    p.add_argument(
+        "--timeseries", metavar="PATH", default=None,
+        help="write per-interval metrics as CSV",
+    )
+    p.add_argument(
+        "--decompose", action="store_true",
+        help="print the per-stage queueing/service/hold latency breakdown",
+    )
+    p.add_argument(
+        "--out-dir", default=os.path.join("results", "trace"),
+        help="artifact directory when --perfetto/--timeseries are not given",
+    )
+    p.add_argument("--json", action="store_true", help="emit the run record as JSON")
+    _add_common(p)
+    _add_fault_plan(p)
+    p.set_defaults(fn=cmd_trace)
+
     p = sub.add_parser("faults", help="fault-injection plan registry")
-    p.add_argument("action", choices=["list"], help="what to do (list plans)")
+    p.add_argument(
+        "action", choices=["list", "show"],
+        help="list plans, or show one plan's ledger from a small run",
+    )
+    p.add_argument("plan", nargs="?", default=None, help="plan name (for show)")
+    p.add_argument("--system", choices=ALL_SYSTEMS, default="mflow")
+    p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
+    p.add_argument("--size", type=int, default=65536)
+    _add_common(p)
     p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("ceilings", help="analytic bottleneck upper bounds")

@@ -166,6 +166,7 @@ class ReassemblyStage(Stage):
     def _drain(self, st: _FlowMergeState, ctx: StageContext) -> List[Skb]:
         out: List[Skb] = []
         switches = 0
+        obs = ctx.pipeline.obs
         while True:
             q = st.queues[st.counter % self.n_branches]
             if q:
@@ -202,6 +203,12 @@ class ReassemblyStage(Stage):
             if st.parked > 0 and st.proto == "udp":
                 nxt = st.queues[(st.counter + 1) % self.n_branches]
                 if nxt and (nxt[0].microflow_id or 0) == st.counter + 1:
+                    if obs is not None:
+                        obs.instant(
+                            "mflow_merge_skip", core=ctx.core.id,
+                            reason="loss_fastpath", counter=st.counter,
+                            parked=st.parked,
+                        )
                     self._advance(st)
                     switches += 1
                     self.merge_skips += 1
@@ -210,6 +217,11 @@ class ReassemblyStage(Stage):
                     continue
             # otherwise wait, unless clearly stalled by loss
             if st.parked >= self.stall_skbs:
+                if obs is not None:
+                    obs.instant(
+                        "mflow_merge_skip", core=ctx.core.id, reason="stall",
+                        counter=st.counter, parked=st.parked,
+                    )
                 self._advance(st)
                 switches += 1
                 self.merge_skips += 1
@@ -243,6 +255,11 @@ class ReassemblyStage(Stage):
                 return
             idle = sim.now - state.last_progress_ns
             if idle >= self.timeout_ns:
+                if pipeline.obs is not None:
+                    pipeline.obs.instant(
+                        "mflow_merge_skip", core=core.id, reason="timeout",
+                        counter=state.counter, parked=state.parked,
+                    )
                 self._advance(state)
                 self.merge_skips += 1
                 state.skips += 1

@@ -77,8 +77,18 @@ class MicroflowSplitStage(Stage):
         skb.flow_serial = seen
         self._seen[key] = seen + skb.segs
         size_key = (key, microflow)
+        new_microflow = self._mf_sizes.get(size_key) is None
         self._mf_sizes[size_key] = self._mf_sizes.get(size_key, 0) + skb.segs
         ctx.telemetry.count("mflow_split_packets", skb.segs)
+        obs = ctx.pipeline.obs
+        if obs is not None and new_microflow:
+            # steering decision: a fresh micro-flow opens on `branch`
+            obs.instant(
+                "mflow_split",
+                core=ctx.core.id,
+                microflow=microflow,
+                branch=skb.branch,
+            )
         # Branch blackout happens *after* size accounting: the merge must
         # believe these segments exist so its liveness escapes engage —
         # exactly the failure mode a dead branch core produces.

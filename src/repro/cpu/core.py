@@ -65,6 +65,11 @@ class Core:
         self.busy_ns: Dict[str, float] = {}
         self.items_executed = 0
         self._queue_len_max = 0
+        #: optional FlightRecorder — None (the default) disables all probes
+        self.obs = None
+        #: (start_ns, end_ns) of the work item currently completing; only
+        #: maintained while obs is attached (read by the journey tracker)
+        self.last_span = None
 
     # --------------------------------------------------------------- submit
     def submit(self, item: WorkItem) -> None:
@@ -110,6 +115,11 @@ class Core:
     def _complete(self, item: WorkItem, duration: float) -> None:
         self.busy_ns[item.tag] = self.busy_ns.get(item.tag, 0.0) + duration
         self.items_executed += 1
+        obs = self.obs
+        if obs is not None:
+            start = self.sim.now - duration
+            self.last_span = (start, self.sim.now)
+            obs.span(item.tag, start, self.sim.now, core=self.id)
         item.fn(*item.args)
         # the completion may have submitted more work to this core
         if self._queue:

@@ -47,6 +47,8 @@ class Softirq:
         self._pending: Dict[int, bool] = {}
         self.raises = 0
         self.ipis = 0
+        #: optional FlightRecorder — None (the default) disables all probes
+        self.obs = None
 
     def pending_on(self, core: Core) -> bool:
         return self._pending.get(core.id, False)
@@ -57,6 +59,8 @@ class Softirq:
             return
         self._pending[core.id] = True
         self.raises += 1
+        if self.obs is not None:
+            self.obs.instant("softirq_raise", core=core.id, softirq=self.name)
         core.submit_call(f"softirq:{self.name}", self.entry_cost_ns, self._run, core)
 
     def raise_on_remote(self, from_core: Optional[Core], to_core: Core) -> None:
@@ -70,6 +74,10 @@ class Softirq:
         remote = from_core is not None and from_core.id != to_core.id
         if remote:
             self.ipis += 1
+            if self.obs is not None:
+                self.obs.instant(
+                    "ipi_send", core=from_core.id, target=to_core.id, softirq=self.name
+                )
             from_core.submit_call(f"ipi:{self.name}", IPI_COST_NS, _noop)
         if remote and self.ipi_delay_ns > 0.0:
             to_core.sim.call_in(self.ipi_delay_ns, self.raise_on, to_core)

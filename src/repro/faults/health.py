@@ -65,6 +65,8 @@ class FlowHealthMonitor:
         self._clean_streak: Dict[FlowKey, int] = {}
         self.events: List[dict] = []
         self.checks = 0
+        #: optional FlightRecorder — None (the default) disables all probes
+        self.obs = None
 
     def arm(self) -> None:
         self.sim.call_in(self.check_interval_ns, self._tick)
@@ -103,6 +105,11 @@ class FlowHealthMonitor:
                 "parked": state.parked,
             }
         )
+        if self.obs is not None:
+            self.obs.instant(
+                "mflow_degraded", flow=flow_label(flow), reason=reason,
+                merge_skips=state.skips, parked=state.parked,
+            )
 
     def _readmit(self, flow: FlowKey, state) -> None:
         if not self.policy.readmit_flow(flow):
@@ -117,6 +124,8 @@ class FlowHealthMonitor:
                 "flow": flow_label(flow),
             }
         )
+        if self.obs is not None:
+            self.obs.instant("mflow_readmitted", flow=flow_label(flow))
 
     def check_once(self) -> None:
         """One health pass over every flow the merge has seen."""

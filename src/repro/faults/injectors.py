@@ -63,6 +63,8 @@ class FaultInjectors:
         self._quarantine_check: Optional[Callable[[FlowKey], bool]] = None
         #: stall ticks stop re-arming past this horizon (set by the scenario)
         self.stall_horizon_ns: float = float("inf")
+        #: optional FlightRecorder — None (the default) disables all probes
+        self.obs = None
 
     # -------------------------------------------------------------- windowing
     def in_window(self, now: Optional[float] = None) -> bool:
@@ -84,13 +86,16 @@ class FaultInjectors:
         rng = self._rng
         if p.corrupt_rate > 0.0 and rng.random() < p.corrupt_rate:
             self.telemetry.count("fault_corrupt_frames")
+            self._probe("fault_corrupt")
             return []
         if p.loss_rate > 0.0 and rng.random() < p.loss_rate:
             self.telemetry.count("fault_lost_frames")
+            self._probe("fault_loss")
             return []
         deliveries = [pkt]
         if p.dup_rate > 0.0 and rng.random() < p.dup_rate:
             self.telemetry.count("fault_dup_frames")
+            self._probe("fault_dup")
             deliveries.append(clone_packet(pkt))
         out: List[Tuple[Packet, float]] = []
         for frame in deliveries:
@@ -100,8 +105,13 @@ class FaultInjectors:
             if p.reorder_rate > 0.0 and rng.random() < p.reorder_rate:
                 extra += p.reorder_delay_ns
                 self.telemetry.count("fault_reordered_frames")
+                self._probe("fault_reorder", delay_ns=p.reorder_delay_ns)
             out.append((frame, extra))
         return out
+
+    def _probe(self, name: str, core: int = -1, **fields) -> None:
+        if self.obs is not None:
+            self.obs.instant(name, core=core, **fields)
 
     def link_gbps(self, configured_gbps: float) -> float:
         """The effective line rate under the plan's bandwidth clamp."""
@@ -126,6 +136,7 @@ class FaultInjectors:
         """Extra ns between frame arrival and the IRQ top half (0 = none)."""
         if self.plan.irq_delay_ns > 0.0 and self.in_window():
             self.telemetry.count("fault_delayed_irqs")
+            self._probe("fault_irq_delay", delay_ns=self.plan.irq_delay_ns)
             return self.plan.irq_delay_ns
         return 0.0
 
@@ -147,6 +158,8 @@ class FaultInjectors:
             return
         if self.in_window():
             self.telemetry.count("fault_core_stalls")
+            self._probe("fault_core_stall", core=core.id,
+                        duration_ns=p.stall_duration_ns)
             core.submit_call("fault_stall", p.stall_duration_ns, _noop)
         self.sim.call_in(p.stall_period_ns, self._stall_tick, core)
 
@@ -170,6 +183,7 @@ class FaultInjectors:
         if self._quarantine_check is not None and self._quarantine_check(skb.flow):
             return False
         self.telemetry.count("fault_branch_blackout", skb.segs)
+        self._probe("fault_blackout_drop", branch=skb.branch, segs=skb.segs)
         return True
 
     # ---------------------------------------------------------------- summary

@@ -45,8 +45,11 @@ class _RxQueue:
         self.napi = Softirq(f"{nic.name}.napi{index}", self._poll)
 
     def receive(self, pkt: Packet) -> None:
+        obs = self.nic.obs
         if not self.ring.push(pkt):
             self.nic.telemetry.count("nic_ring_drops")
+            if obs is not None:
+                obs.instant("nic_ring_drop", core=self.core.id, wire_seq=pkt.wire_seq)
             return
         self.nic.telemetry.count("nic_rx_packets")
         if self.irq_enabled:
@@ -54,6 +57,13 @@ class _RxQueue:
             self.nic.telemetry.count("nic_irqs")
             faults = self.nic.faults
             delay = faults.irq_fire_delay() if faults is not None else 0.0
+            if obs is not None:
+                obs.instant(
+                    "irq_raise",
+                    core=self.core.id,
+                    ring_depth=len(self.ring),
+                    delay_ns=delay,
+                )
             if delay > 0.0:
                 # fault injection: the interrupt is held back (moderation
                 # gone wrong / a hypervisor absorbing the vector)
@@ -113,6 +123,8 @@ class Nic:
         self.name = name
         #: optional FaultInjectors (ring shrink / IRQ delay hooks)
         self.faults = None
+        #: optional FlightRecorder — None (the default) disables all probes
+        self.obs = None
         cores = rss_cores if rss_cores else [irq_core]
         self._queues = [_RxQueue(self, i, core) for i, core in enumerate(cores)]
         self._queue_by_core = {q.core.id: q for q in self._queues}

@@ -106,7 +106,15 @@ class Skb:
     skb (paper footnote 5).
     """
 
-    __slots__ = ("packets", "flow", "microflow_id", "branch", "flow_serial", "alloc_ts")
+    __slots__ = (
+        "packets",
+        "flow",
+        "microflow_id",
+        "branch",
+        "flow_serial",
+        "alloc_ts",
+        "trace_id",
+    )
 
     def __init__(self, packets: List[Packet]):
         if not packets:
@@ -117,6 +125,9 @@ class Skb:
         self.branch: Optional[int] = None
         self.flow_serial: Optional[int] = None
         self.alloc_ts: float = 0.0
+        # observability identity: assigned monotonically on first touch by
+        # PathTracer / JourneyTracker (never id(skb) — ids are reused)
+        self.trace_id: Optional[int] = None
 
     @property
     def segs(self) -> int:

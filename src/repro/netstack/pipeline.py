@@ -68,6 +68,10 @@ class Pipeline:
         self.head: Optional[StageNode] = None
         #: queue-overflow drops, per stage name
         self.drops: Dict[str, int] = {}
+        #: optional FlightRecorder — None (the default) disables all probes
+        self.obs = None
+        #: optional JourneyTracker for latency decomposition (None = off)
+        self.journeys = None
 
     def set_head(self, head: StageNode) -> None:
         self.head = head
@@ -108,13 +112,27 @@ class Pipeline:
             self.drops[stage.name] = self.drops.get(stage.name, 0) + 1
             self.telemetry.count("backlog_drops")
             self.telemetry.count(f"drops:{stage.name}")
+            if self.obs is not None:
+                self.obs.instant(
+                    "backlog_drop", core=core.id, stage=stage.name,
+                    depth=core.queue_depth,
+                )
+                if self.journeys is not None:
+                    self.journeys.on_drop(skb, stage.name)
             return
+        if self.journeys is not None:
+            self.journeys.on_enqueue(skb, stage.name, core.id, self.sim.now)
         if front:
             core.submit_front_call(stage.name, cost, self._run_stage, node, skb, core)
         else:
             core.submit_call(stage.name, cost, self._run_stage, node, skb, core)
 
     def _run_stage(self, node: StageNode, skb: Skb, core: Core) -> None:
+        journeys = self.journeys
+        if journeys is not None and core.last_span is not None:
+            # the work item charging this stage just completed on `core`;
+            # its measured span is the hop's (start, end)
+            journeys.on_execute(skb, node.stage.name, *core.last_span)
         ctx = StageContext(self, node, core)
         outputs = node.stage.process(skb, ctx)
         if not outputs or node.next is None:

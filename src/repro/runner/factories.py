@@ -66,6 +66,7 @@ def sockperf_factory(
         n_split_cores=int(params.get("n_split_cores", 2)),
         interval_ns=params.get("interval_ns"),
         faults=params.get("faults"),
+        obs=params.get("obs"),
     )
     return _scenario_measurements(res)
 
@@ -119,6 +120,7 @@ def multiflow_factory(
         measure_ns=measure_ns,
         placement=params.get("placement", "least-loaded"),
         faults=params.get("faults"),
+        obs=params.get("obs"),
     )
     return _scenario_measurements(res)
 

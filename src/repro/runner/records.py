@@ -33,8 +33,13 @@ def latency_from_dict(data: Dict[str, float]) -> LatencySummary:
 
 
 def scenario_result_to_dict(res: ScenarioResult) -> Dict[str, Any]:
-    """Flatten a :class:`ScenarioResult` into a JSON-safe measurement dict."""
-    return {
+    """Flatten a :class:`ScenarioResult` into a JSON-safe measurement dict.
+
+    The ``obs`` payload is included only when the run was instrumented, so
+    uninstrumented measurement dicts are byte-identical to pre-obs builds
+    (cache-key and result-hash stability).
+    """
+    out = {
         "kind": "scenario",
         "throughput_gbps": res.throughput_gbps,
         "messages_delivered": res.messages_delivered,
@@ -52,6 +57,9 @@ def scenario_result_to_dict(res: ScenarioResult) -> Dict[str, Any]:
         "conservation_checks": res.conservation_checks,
         "conservation_violations": res.conservation_violations,
     }
+    if res.obs is not None:
+        out["obs"] = dict(res.obs)
+    return out
 
 
 def scenario_result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
@@ -73,6 +81,7 @@ def scenario_result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
         degradation_events=[dict(e) for e in data.get("degradation_events", [])],
         conservation_checks=int(data.get("conservation_checks", 0)),
         conservation_violations=int(data.get("conservation_violations", 0)),
+        obs=data.get("obs"),
     )
 
 

@@ -54,7 +54,11 @@ class PathTracer:
         self.sim = sim
         self.max_traces = max_traces
         self.start_ns = start_ns
+        # keyed by skb.trace_id, assigned monotonically on first sight.
+        # Never key by id(skb): CPython reuses object ids after GC, which
+        # silently merged journeys of distinct skbs into one trace.
         self._traces: Dict[int, List[Tuple[str, float, int]]] = {}
+        self._next_id = 0
         self._orig_inject = None
         self.installed = False
 
@@ -67,14 +71,21 @@ class PathTracer:
         tracer = self
 
         def traced_inject(node, skb, from_core, front=False):
-            if (
-                node is not None
-                and tracer.sim.now >= tracer.start_ns
-                and (id(skb) in tracer._traces or len(tracer._traces) < tracer.max_traces)
-            ):
-                tracer._traces.setdefault(id(skb), []).append(
-                    (node.stage.name, tracer.sim.now, from_core.id if from_core else -1)
-                )
+            if node is not None and tracer.sim.now >= tracer.start_ns:
+                tid = skb.trace_id
+                if tid is None:
+                    if len(tracer._traces) < tracer.max_traces:
+                        tid = tracer._next_id
+                        tracer._next_id += 1
+                        skb.trace_id = tid
+                elif tid >= tracer._next_id:
+                    # id assigned by another tracker (journey tracker):
+                    # adopt it and never hand out the same id ourselves
+                    tracer._next_id = tid + 1
+                if tid is not None:
+                    tracer._traces.setdefault(tid, []).append(
+                        (node.stage.name, tracer.sim.now, from_core.id if from_core else -1)
+                    )
             return tracer._orig_inject(node, skb, from_core, front)
 
         self.pipeline.inject = traced_inject

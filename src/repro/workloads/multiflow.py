@@ -75,6 +75,7 @@ def build_multiflow_scenario(
     batch_size: int = 256,
     placement: str = "least-loaded",
     faults=None,
+    obs=None,
 ) -> Scenario:
     """Assemble an ``n_flows``-flow overlay TCP scenario."""
     if n_flows < 1:
@@ -88,6 +89,7 @@ def build_multiflow_scenario(
         n_receiver_cores=N_CORES,
         rss_core_indices=KERNEL_POOL,
         faults=faults,
+        obs=obs,
     )
     for i in range(n_flows):
         sc.add_tcp_sender(message_size, flow=make_flow("tcp", i))
@@ -104,11 +106,12 @@ def run_multiflow(
     measure_ns: float = 8 * MSEC,
     placement: str = "least-loaded",
     faults=None,
+    obs=None,
 ) -> ScenarioResult:
     """One cell of Fig. 10 (aggregate TCP throughput)."""
     sc = build_multiflow_scenario(
         system, n_flows, message_size, costs=costs, seed=seed, placement=placement,
-        faults=faults,
+        faults=faults, obs=obs,
     )
     return sc.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
 

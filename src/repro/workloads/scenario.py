@@ -27,6 +27,15 @@ from repro.faults.watchdog import ConservationWatchdog
 from repro.metrics.summary import LatencySummary, summarize_latencies
 from repro.metrics.telemetry import Telemetry
 from repro.netstack.costs import DEFAULT_COSTS, CostModel
+from repro.obs import (
+    FlightRecorder,
+    IntervalMetrics,
+    JourneyTracker,
+    ObsConfig,
+    decompose,
+    resolve_obs,
+)
+from repro.obs.config import ObsConfigLike
 from repro.netstack.nic import Nic, Wire
 from repro.netstack.packet import FlowKey
 from repro.netstack.pipeline import Pipeline, link_nodes
@@ -64,6 +73,9 @@ class ScenarioResult:
     degradation_events: List[Dict] = field(default_factory=list)
     conservation_checks: int = 0
     conservation_violations: int = 0
+    #: flight-recorder payload (None unless the run was instrumented):
+    #: recorder stats, latency decomposition, and interval time series
+    obs: Optional[Dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience printer
         return (
@@ -86,6 +98,7 @@ class Scenario:
         irq_core: int = 1,
         rss_core_indices: Optional[List[int]] = None,
         faults: FaultPlanLike = None,
+        obs: ObsConfigLike = None,
     ):
         if proto not in ("tcp", "udp"):
             raise ValueError(f"proto must be 'tcp' or 'udp', got {proto!r}")
@@ -143,6 +156,15 @@ class Scenario:
             rss_cores=rss_cores,
         )
         self.wire = Wire(self.sim, self.costs, self.nic, faults=self.faults)
+        # Observability: resolve like fault plans — a disabled config is
+        # inert (None) and the run builds the exact same event schedule
+        # and consumes the same randomness as an uninstrumented one.
+        self.obs_config: Optional[ObsConfig] = resolve_obs(obs)
+        self.recorder: Optional[FlightRecorder] = None
+        self.journeys: Optional[JourneyTracker] = None
+        self.intervals: Optional[IntervalMetrics] = None
+        if self.obs_config is not None:
+            self._attach_obs(self.obs_config)
         if self.faults is not None:
             self.nic.faults = self.faults
             self.faults.apply_to_nic(self.nic)
@@ -157,6 +179,32 @@ class Scenario:
 
         self._senders: Dict[FlowKey, object] = {}
         self._client_count = 0
+
+    # ------------------------------------------------------------- obs wiring
+    def _attach_obs(self, cfg: ObsConfig) -> None:
+        """Hand the flight recorder to every receiver-side producer.
+
+        Client-machine cores are deliberately *not* instrumented: their
+        core ids would collide with receiver tracks in the trace, and all
+        the contention the paper studies is on the receive side.
+        """
+        self.recorder = FlightRecorder(capacity=cfg.capacity, seed=cfg.seed)
+        self.recorder.bind_clock(self.sim)
+        for core in self.cpus:
+            core.obs = self.recorder
+        self.journeys = JourneyTracker(
+            max_journeys=cfg.max_journeys, start_ns=cfg.journey_start_ns
+        )
+        self.pipeline.obs = self.recorder
+        self.pipeline.journeys = self.journeys
+        self.nic.obs = self.recorder
+        for queue in self.nic._queues:
+            queue.napi.obs = self.recorder
+        if self.faults is not None:
+            self.faults.obs = self.recorder
+        monitor = getattr(self.policy, "health_monitor", None)
+        if monitor is not None:
+            monitor.obs = self.recorder
 
     # ------------------------------------------------------------- clients
     def make_client_flow(self, client_id: int, dport: int = 5001) -> FlowKey:
@@ -246,12 +294,28 @@ class Scenario:
             self.faults.schedule_core_stalls(self.cpus)
         if self.watchdog is not None:
             self.watchdog.arm()
+        if self.journeys is not None and self.obs_config.journey_start_ns == 0.0:
+            # default journey horizon: sample steady state, not warmup
+            self.journeys.start_ns = warmup_ns
         for i, sender in enumerate(self._senders.values()):
             # small stagger so clients do not start in lockstep
             self.sim.call_in(i * 1_000.0, sender.start)
         self.sim.run(until_ns=warmup_ns)
         self.telemetry.start_window()
         self.cpus.start_window()
+        if self.obs_config is not None:
+            # interval metrics cover exactly the measurement window
+            self.intervals = IntervalMetrics(
+                self.sim,
+                self.telemetry,
+                self.cpus,
+                pipeline=self.pipeline,
+                nic=self.nic,
+                merge_stage=getattr(self.policy, "merge_stage", None),
+                proto=self.proto,
+                interval_ns=self.obs_config.interval_ns,
+            )
+            self.intervals.arm()
         self.sim.run(until_ns=warmup_ns + measure_ns)
         return self._collect(measure_ns)
 
@@ -267,6 +331,16 @@ class Scenario:
             checks = self.watchdog.checks
             violations = len(self.watchdog.violations)
         monitor = getattr(self.policy, "health_monitor", None)
+        obs_payload = None
+        if self.recorder is not None:
+            obs_payload = {
+                "config": self.obs_config.to_dict(),
+                "events_seen": self.recorder.events_seen,
+                "events_kept": self.recorder.events_kept,
+                "events_dropped": self.recorder.events_dropped,
+                "decomposition": decompose(self.journeys).to_dict(),
+                "timeseries": self.intervals.to_dict() if self.intervals else None,
+            }
         return ScenarioResult(
             throughput_gbps=self.telemetry.window_rate_gbps(bytes_counter),
             messages_delivered=self.telemetry.window_count(
@@ -285,4 +359,5 @@ class Scenario:
             degradation_events=list(monitor.events) if monitor else [],
             conservation_checks=checks,
             conservation_violations=violations,
+            obs=obs_payload,
         )

@@ -114,6 +114,7 @@ def build_scenario(
     n_receiver_cores: int = 8,
     interval_ns: Optional[float] = None,
     faults=None,
+    obs=None,
 ) -> Scenario:
     """Assemble the single-flow scenario for one (system, proto, size)."""
     sc = Scenario(
@@ -126,6 +127,7 @@ def build_scenario(
         # real RSS spreads RX queues across its core pool
         rss_core_indices=[1, 2, 3] if system == "rss" else None,
         faults=faults,
+        obs=obs,
     )
     for _ in range(CLIENTS[proto]):
         if proto == "tcp":
@@ -147,6 +149,7 @@ def run_single_flow(
     n_split_cores: int = 2,
     interval_ns: Optional[float] = None,
     faults=None,
+    obs=None,
 ) -> ScenarioResult:
     """Run one cell of Fig. 4a / Fig. 8a / Fig. 9."""
     sc = build_scenario(
@@ -159,6 +162,7 @@ def run_single_flow(
         n_split_cores=n_split_cores,
         interval_ns=interval_ns,
         faults=faults,
+        obs=obs,
     )
     return sc.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
 

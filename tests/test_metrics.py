@@ -81,6 +81,98 @@ class TestTelemetry:
         t.observe("lat", 1.0)
         assert t.sample_list("lat") == []
 
+    def test_rate_zero_elapsed_window(self):
+        # window opened and bytes counted but the clock never advanced:
+        # must return 0.0, not divide by zero
+        sim = Simulator()
+        t = Telemetry(sim)
+        sim.call_in(5.0, lambda: None)
+        sim.run()
+        t.start_window()
+        t.count("bytes", 10_000)
+        assert t.window_elapsed_ns == 0.0
+        assert t.window_rate_gbps("bytes") == 0.0
+
+    def test_start_window_clears_prewindow_samples(self):
+        # record_prewindow=True keeps warmup samples *until* a window opens;
+        # start_window must then discard them so windowed stats are clean
+        t = Telemetry(Simulator(), record_prewindow=True)
+        for i in range(10):
+            t.observe("lat", float(i))
+        assert len(t.sample_list("lat")) == 10
+        t.start_window()
+        assert t.sample_list("lat") == []
+        t.observe("lat", 42.0)
+        assert t.sample_list("lat") == [42.0]
+
+    def test_counter_deltas_across_repeated_windows(self):
+        sim = Simulator()
+        t = Telemetry(sim)
+        t.count("bytes", 100)
+        t.start_window()
+        t.count("bytes", 40)
+        assert t.window_count("bytes") == 40
+        # reopening the window re-bases the delta at the new total
+        t.start_window()
+        assert t.window_count("bytes") == 0
+        t.count("bytes", 7)
+        assert t.window_count("bytes") == 7
+        assert t.get("bytes") == 147  # absolute counter is never rewound
+
+
+class TestTelemetryReservoir:
+    def test_exact_below_cap(self):
+        t = Telemetry(Simulator(), record_prewindow=True, sample_cap=100)
+        vals = [float(i) for i in range(100)]
+        for v in vals:
+            t.observe("lat", v)
+        assert t.sample_list("lat") == vals  # order preserved, nothing dropped
+
+    def test_capped_above_cap(self):
+        t = Telemetry(Simulator(), record_prewindow=True, sample_cap=50)
+        for i in range(10_000):
+            t.observe("lat", float(i))
+        kept = t.sample_list("lat")
+        assert len(kept) == 50
+        assert set(kept) <= {float(i) for i in range(10_000)}
+
+    def test_reservoir_deterministic_per_seed(self):
+        def run(seed):
+            t = Telemetry(Simulator(), record_prewindow=True,
+                          sample_cap=20, sample_seed=seed)
+            for i in range(1_000):
+                t.observe("lat", float(i))
+            return t.sample_list("lat")
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+
+    def test_cap_is_per_name(self):
+        t = Telemetry(Simulator(), record_prewindow=True, sample_cap=10)
+        for i in range(30):
+            t.observe("a", float(i))
+            t.observe("b", float(i))
+        assert len(t.sample_list("a")) == 10
+        assert len(t.sample_list("b")) == 10
+
+    def test_start_window_resets_reservoir_state(self):
+        # the kept set must be a pure function of the in-window sequence:
+        # overflowing before start_window must not change what survives after
+        def run(prewindow_n):
+            t = Telemetry(Simulator(), record_prewindow=True, sample_cap=20)
+            for i in range(prewindow_n):
+                t.observe("lat", -1.0)
+            t.start_window()
+            for i in range(500):
+                t.observe("lat", float(i))
+            return t.sample_list("lat")
+
+        assert run(0) == run(5_000)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Telemetry(Simulator(), sample_cap=0)
+
 
 class TestSummary:
     def test_percentile_basics(self):
