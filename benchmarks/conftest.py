@@ -5,9 +5,23 @@ measurement windows (the shapes stabilize well before the full windows)
 and attaches the reproduced numbers to the benchmark record via
 ``extra_info`` so `pytest benchmarks/ --benchmark-only` doubles as the
 reproduction harness.
+
+Timing is statistical, not single-shot: :func:`run_sampled` runs every
+figure ``BENCH_ROUNDS`` times (default 3) so pytest-benchmark reports
+real variance, and a bootstrap 95% CI from :mod:`repro.perf.stats` is
+attached to ``extra_info`` alongside the reproduced numbers.  A
+teardown hook asserts the ``extra_info`` schema — every benchmark must
+leave behind at least one JSON-safe reproduced number.
 """
 
+import os
+
 import pytest
+
+from repro.perf.stats import SampleStats
+
+#: timed rounds per figure (override: BENCH_ROUNDS=5 pytest benchmarks/ ...)
+DEFAULT_ROUNDS = int(os.environ.get("BENCH_ROUNDS", "3"))
 
 
 @pytest.fixture(autouse=True)
@@ -17,6 +31,66 @@ def _isolated_results(tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)
 
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run ``fn`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+def run_sampled(benchmark, fn, *args, rounds=None, **kwargs):
+    """Run ``fn`` ``rounds`` times under pytest-benchmark timing and
+    attach mean + bootstrap 95% CI of the wall time to ``extra_info``."""
+    rounds = rounds if rounds is not None else DEFAULT_ROUNDS
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                rounds=rounds, iterations=1)
+    data = getattr(getattr(benchmark, "stats", None), "stats", None)
+    samples = list(getattr(data, "data", []) or [])
+    if samples:
+        s = SampleStats.from_samples(samples)
+        benchmark.extra_info["wall_s_mean"] = round(s.mean, 4)
+        benchmark.extra_info["wall_s_ci95"] = [round(s.ci_lo, 4), round(s.ci_hi, 4)]
+        benchmark.extra_info["rounds"] = s.n
+    return result
+
+
+# ------------------------------------------------- extra_info schema gate
+_SCALAR = (int, float, str, bool)
+
+
+def _schema_error(key, value):
+    return (
+        f"extra_info[{key!r}] = {value!r} is not a reproduced-number: "
+        "values must be int/float/str/bool, or flat lists/dicts of those"
+    )
+
+
+def validate_extra_info(extra_info) -> None:
+    """Every benchmark must attach >= 1 JSON-safe reproduced number."""
+    assert extra_info, "benchmark attached no extra_info reproduced numbers"
+    for key, value in extra_info.items():
+        assert isinstance(key, str) and key, f"extra_info key {key!r} must be a string"
+        if isinstance(value, _SCALAR):
+            continue
+        if isinstance(value, (list, tuple)):
+            assert all(isinstance(v, _SCALAR) for v in value), _schema_error(key, value)
+            continue
+        if isinstance(value, dict):
+            assert all(
+                isinstance(k, str) and isinstance(v, _SCALAR)
+                for k, v in value.items()
+            ), _schema_error(key, value)
+            continue
+        raise AssertionError(_schema_error(key, value))
+
+
+@pytest.hookimpl(tryfirst=True, hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    setattr(item, "rep_" + rep.when, rep)
+
+
+@pytest.fixture(autouse=True)
+def _assert_reproduced_numbers(request):
+    """Post-test schema check of the ``extra_info`` payload."""
+    yield
+    rep = getattr(request.node, "rep_call", None)
+    if rep is None or not rep.passed:
+        return  # the test already failed; don't stack a schema error on top
+    bench = request.node.funcargs.get("benchmark")
+    if bench is not None:
+        validate_extra_info(bench.extra_info)

@@ -12,7 +12,7 @@ measures what it buys:
   scaling) for TCP.
 """
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.core.config import MflowConfig
 from repro.core.mflow import MflowPolicy
@@ -35,7 +35,7 @@ def test_bench_ablation_batch_size(benchmark):
             out[batch] = res
         return out
 
-    out = run_once(benchmark, sweep)
+    out = run_sampled(benchmark, sweep)
     for batch, res in out.items():
         benchmark.extra_info[f"batch{batch}_gbps"] = round(res.throughput_gbps, 2)
         benchmark.extra_info[f"batch{batch}_reorder_events"] = res.counters.get(
@@ -58,7 +58,7 @@ def test_bench_ablation_splitting_cores(benchmark):
             for n in (1, 2, 4)
         }
 
-    out = run_once(benchmark, sweep)
+    out = run_sampled(benchmark, sweep)
     for n, res in out.items():
         benchmark.extra_info[f"cores{n}_gbps"] = round(res.throughput_gbps, 2)
     # two cores buy a lot over one; four buys little over two
@@ -91,7 +91,7 @@ def test_bench_ablation_merge_point(benchmark):
         ).run(warmup_ns=WARM, measure_ns=MEAS)
         return late, early
 
-    late, early = run_once(benchmark, sweep)
+    late, early = run_sampled(benchmark, sweep)
     benchmark.extra_info["late_merge_gbps"] = round(late.throughput_gbps, 2)
     benchmark.extra_info["early_merge_gbps"] = round(early.throughput_gbps, 2)
     # late merging parallelizes more of the path with the same cores
@@ -128,7 +128,7 @@ def test_bench_ablation_reassembly_vs_perpacket(benchmark):
         b = per_packet.run(warmup_ns=WARM, measure_ns=MEAS)
         return a, b
 
-    batch_res, pkt_res = run_once(benchmark, sweep)
+    batch_res, pkt_res = run_sampled(benchmark, sweep)
     benchmark.extra_info["batch_reassembly_gbps"] = round(batch_res.throughput_gbps, 2)
     benchmark.extra_info["per_packet_reorder_gbps"] = round(pkt_res.throughput_gbps, 2)
     # per-packet reordering pays reorder_per_pkt_ns on the merge core for
@@ -157,7 +157,7 @@ def test_bench_ablation_irq_splitting(benchmark):
         device_only.add_tcp_sender(65536)
         return full, device_only.run(warmup_ns=WARM, measure_ns=MEAS)
 
-    full, device_only = run_once(benchmark, sweep)
+    full, device_only = run_sampled(benchmark, sweep)
     benchmark.extra_info["full_path_gbps"] = round(full.throughput_gbps, 2)
     benchmark.extra_info["device_scaling_gbps"] = round(device_only.throughput_gbps, 2)
     assert full.throughput_gbps > device_only.throughput_gbps

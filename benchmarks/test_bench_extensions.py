@@ -1,12 +1,12 @@
 """Future-work extensions bench: the bottleneck walk past 30 Gbps."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import extensions
 
 
 def test_bench_extensions_future_work(benchmark):
-    res = run_once(benchmark, extensions.run, quick=True)
+    res = run_sampled(benchmark, extensions.run, quick=True)
     for label, r in res.raw.items():
         benchmark.extra_info[label.replace(" ", "_")] = round(r.throughput_gbps, 2)
     paper = res.gbps("paper mflow (2 branches, 1 reader)")

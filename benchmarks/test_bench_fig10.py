@@ -1,12 +1,12 @@
 """Fig. 10 — multi-flow TCP throughput."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import fig10_multiflow
 
 
 def test_bench_fig10_multiflow(benchmark):
-    res = run_once(benchmark, fig10_multiflow.run, quick=True,
+    res = run_sampled(benchmark, fig10_multiflow.run, quick=True,
                    flow_counts=[1, 5, 10], message_sizes=[16, 65536])
     for system in ("vanilla", "falcon", "mflow"):
         for n in (1, 5, 10):

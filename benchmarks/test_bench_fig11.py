@@ -1,12 +1,12 @@
 """Fig. 11 — CloudSuite Web Serving."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import fig11_webserving
 
 
 def test_bench_fig11_webserving(benchmark):
-    res = run_once(benchmark, fig11_webserving.run, quick=True, n_users=200)
+    res = run_sampled(benchmark, fig11_webserving.run, quick=True, n_users=200)
     for system, r in res.raw.items():
         benchmark.extra_info[f"{system}_success_per_sec"] = round(
             r.total_success_per_sec(), 0

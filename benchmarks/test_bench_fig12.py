@@ -1,12 +1,12 @@
 """Fig. 12 — CPU load balance and steering overhead."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import fig12_cpu_balance
 
 
 def test_bench_fig12_cpu_balance(benchmark):
-    res = run_once(benchmark, fig12_cpu_balance.run, quick=True)
+    res = run_sampled(benchmark, fig12_cpu_balance.run, quick=True)
     for system, std in res.stddev.items():
         benchmark.extra_info[f"{system}_util_std_pct"] = round(std, 1)
     # paper: MFLOW spreads kernel load more evenly than FALCON

@@ -1,12 +1,12 @@
 """Fig. 13 — Memcached data caching latency."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import fig13_memcached
 
 
 def test_bench_fig13_memcached(benchmark):
-    res = run_once(benchmark, fig13_memcached.run, quick=True)
+    res = run_sampled(benchmark, fig13_memcached.run, quick=True)
     for (system, n), r in res.raw.items():
         benchmark.extra_info[f"{system}_{n}c_p99_us"] = round(r.latency.p99_us, 1)
     v10 = res.latency("vanilla", 10).latency

@@ -1,12 +1,12 @@
 """Fig. 4 — motivation: state-of-the-art throughput + CPU utilization."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import fig4_motivation
 
 
 def test_bench_fig4_motivation(benchmark):
-    res = run_once(
+    res = run_sampled(
         benchmark,
         fig4_motivation.run,
         quick=True,

@@ -1,12 +1,12 @@
 """Fig. 7 — out-of-order delivery vs micro-flow batch size."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import fig7_batch_size
 
 
 def test_bench_fig7_batch_size(benchmark):
-    res = run_once(benchmark, fig7_batch_size.run, quick=True,
+    res = run_sampled(benchmark, fig7_batch_size.run, quick=True,
                    batch_sizes=[1, 16, 64, 256, 1024])
     for batch, events in res.ooo_packets.items():
         benchmark.extra_info[f"ooo_events_batch_{batch}"] = events

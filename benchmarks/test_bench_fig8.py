@@ -1,12 +1,12 @@
 """Fig. 8 — MFLOW single-flow throughput + per-core CPU breakdown."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import fig8_throughput
 
 
 def test_bench_fig8_throughput(benchmark):
-    res = run_once(benchmark, fig8_throughput.run, quick=True,
+    res = run_sampled(benchmark, fig8_throughput.run, quick=True,
                    message_sizes=[16, 4096, 65536])
     for proto in ("tcp", "udp"):
         for system in ("native", "vanilla", "falcon", "mflow"):

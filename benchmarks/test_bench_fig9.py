@@ -1,12 +1,12 @@
 """Fig. 9 — per-message latency under pre-drop load."""
 
-from conftest import run_once
+from conftest import run_sampled
 
 from repro.experiments import fig9_latency
 
 
 def test_bench_fig9_latency(benchmark):
-    res = run_once(benchmark, fig9_latency.run, quick=True, message_sizes=[65536])
+    res = run_sampled(benchmark, fig9_latency.run, quick=True, message_sizes=[65536])
     for (proto, system, size), lat in res.latencies.items():
         benchmark.extra_info[f"{proto}_{system}_p50_us"] = round(lat.p50_us, 1)
         benchmark.extra_info[f"{proto}_{system}_p99_us"] = round(lat.p99_us, 1)

@@ -10,12 +10,19 @@
     python -m repro trace      --system mflow --perfetto out.json --decompose
     python -m repro faults     show loss-burst
     python -m repro ceilings   --proto udp
+    python -m repro prof       --system mflow --top 15
+    python -m repro bench      --quick --compare benchmarks/baseline.json
+    python -m repro fidelity   --quick
 
 Every subcommand prints a small table; ``compare`` adds an ASCII bar
 chart; ``trace`` runs one instrumented scenario and exports flight-
 recorder artifacts (Perfetto trace, interval CSV, latency decomposition);
 ``ceilings`` prints the closed-form bottleneck model's analytic upper
-bounds (no simulation).
+bounds (no simulation).  The last three are the performance observatory
+(:mod:`repro.perf`): ``prof`` self-profiles the simulator's hot path,
+``bench`` runs the statistical benchmark matrix (and gates regressions
+against a baseline), ``fidelity`` scores reproduced headline numbers
+against the paper within tolerance bands.
 """
 
 from __future__ import annotations
@@ -284,6 +291,100 @@ def cmd_faults(args) -> int:
     raise SystemExit(f"unknown faults action {args.action!r}")
 
 
+def cmd_prof(args) -> int:
+    """Self-profile one scenario run: where does *wall-clock* time go."""
+    from repro.perf.selfprof import SelfProfiler
+
+    # pass a live profiler (resolve_selfprof passes instances through) so
+    # the report is not limited to the payload's serialized top-10
+    prof = SelfProfiler()
+    res = run_single_flow(
+        args.system, args.proto, args.size, seed=args.seed,
+        batch_size=args.batch, faults=args.fault_plan,
+        selfprof=prof, **_windows(args),
+    )
+    if args.json:
+        out = prof.summary(top_k=args.top)
+        out.update(system=args.system, proto=args.proto, size=args.size,
+                   throughput_gbps=res.throughput_gbps)
+        print(json.dumps(out, indent=1))
+        return 0
+    print(
+        f"{args.system} {args.proto} {args.size}B: {res.throughput_gbps:.2f} Gbps "
+        f"simulated in {prof.run_wall_s * 1e3:.0f} ms wall\n"
+    )
+    print(prof.report(top_k=args.top))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Statistical bench matrix -> BENCH_<sha>.json (+ optional gate)."""
+    from repro.perf import bench as perf_bench
+
+    scenarios = perf_bench.default_matrix()
+    if args.scenarios:
+        wanted = set(args.scenarios)
+        unknown = wanted - {s.name for s in scenarios}
+        if unknown:
+            raise SystemExit(
+                f"unknown bench scenarios {sorted(unknown)}; "
+                f"choose from {[s.name for s in scenarios]}"
+            )
+        scenarios = [s for s in scenarios if s.name in wanted]
+    windows = perf_bench.QUICK_WINDOWS if args.quick else perf_bench.FULL_WINDOWS
+    reps = args.reps if args.reps is not None else (
+        perf_bench.QUICK_REPS if args.quick else perf_bench.DEFAULT_REPS
+    )
+
+    def progress(name: str, rep: int, total: int) -> None:
+        sys.stderr.write(f"\r[bench] {name:<28} rep {rep + 1}/{total}   ")
+        sys.stderr.flush()
+
+    results = perf_bench.run_bench(
+        scenarios, reps=reps, seed=args.seed,
+        progress=progress if sys.stderr.isatty() else None, **windows,
+    )
+    if sys.stderr.isatty():
+        sys.stderr.write("\n")
+    payload = perf_bench.bench_payload(
+        results, reps=reps, seed=args.seed,
+        warmup_ns=windows["warmup_ns"], measure_ns=windows["measure_ns"],
+    )
+    out_path = args.out or perf_bench.bench_filename(payload["git_sha"])
+    perf_bench.write_payload(payload, out_path)
+    if args.json:
+        print(json.dumps(payload, indent=1))
+    else:
+        print(perf_bench.format_results(results))
+        print(f"\nwrote {out_path} (schema v{payload['schema_version']}, "
+              f"{reps} reps, sha {payload['git_sha']})")
+    if args.compare:
+        baseline = perf_bench.load_payload(args.compare)
+        report = perf_bench.compare_payloads(
+            payload, baseline, max_slowdown=args.slowdown
+        )
+        print()
+        print(report.report())
+        return report.exit_code()
+    return 0
+
+
+def cmd_fidelity(args) -> int:
+    """Score reproduced headline numbers against the paper's values."""
+    from repro.perf.fidelity import run_fidelity
+
+    board = run_fidelity(quick=args.quick, seed=args.seed)
+    if args.json_out:
+        board.write_json(args.json_out)
+    if args.md_out:
+        board.write_markdown(args.md_out)
+    if args.json:
+        print(json.dumps(board.to_json_dict(), indent=1))
+    else:
+        print(board.report())
+    return board.exit_code()
+
+
 def cmd_ceilings(args) -> int:
     overlay = BottleneckModel(DEFAULT_COSTS, proto=args.proto, overlay=True)
     native = BottleneckModel(DEFAULT_COSTS, proto=args.proto, overlay=False)
@@ -407,6 +508,70 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ceilings", help="analytic bottleneck upper bounds")
     p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
     p.set_defaults(fn=cmd_ceilings)
+
+    p = sub.add_parser(
+        "prof", help="self-profile the simulator's hot path for one scenario"
+    )
+    p.add_argument("--system", choices=ALL_SYSTEMS, default="mflow")
+    p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument("--top", type=int, default=10, help="cost centers to show")
+    p.add_argument("--json", action="store_true", help="emit the profile as JSON")
+    _add_common(p)
+    _add_fault_plan(p)
+    p.set_defaults(fn=cmd_prof)
+
+    p = sub.add_parser(
+        "bench",
+        help="statistical bench matrix -> BENCH_<sha>.json (+ regression gate)",
+    )
+    p.add_argument(
+        "--reps", type=int, default=None,
+        help="repetitions per scenario (default 5, or 3 with --quick)",
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="reduced windows and repetitions (the CI configuration)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output path (default ./BENCH_<git-sha>.json)",
+    )
+    p.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="compare against a baseline BENCH json; exit 1 on regression",
+    )
+    p.add_argument(
+        "--slowdown", type=float, default=0.10,
+        help="tolerated mean drift beyond CI overlap (default 0.10 = 10%%)",
+    )
+    p.add_argument(
+        "--scenarios", nargs="*", default=None, metavar="NAME",
+        help="subset of the matrix (default: all)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the payload as JSON")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "fidelity", help="score reproduced headline numbers against the paper"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="reduced replay windows (the CI configuration)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="also write the scoreboard as JSON",
+    )
+    p.add_argument(
+        "--md-out", metavar="PATH", default=None,
+        help="also write the scoreboard as markdown",
+    )
+    p.add_argument("--json", action="store_true", help="print JSON instead of the table")
+    p.set_defaults(fn=cmd_fidelity)
 
     return parser
 

@@ -58,7 +58,8 @@ EXPERIMENTS: Dict[str, Callable] = {name: mod.run for name, mod in MODULES.items
 
 
 def _progress(name: str) -> Callable:
-    """Stderr progress line: ``[fig8] 12/40 cached=3 eta 18s``."""
+    """Stderr progress line:
+    ``[fig8] 12/40 cached=3 last 0.82s 131k ev/s eta 18s``."""
     started = time.monotonic()
     cached = 0
 
@@ -75,6 +76,10 @@ def _progress(name: str) -> Callable:
         line = f"[{name}] {done}/{total}"
         if cached:
             line += f" cached={cached}"
+        if not record.cached and record.wall_time_s > 0:
+            line += f" last {record.wall_time_s:.2f}s"
+            if record.events_per_sec > 0:
+                line += f" {record.events_per_sec / 1e3:.0f}k ev/s"
         sys.stderr.write(f"\r{line} {eta}")
         if done == total:
             sys.stderr.write("\n")
@@ -136,20 +141,28 @@ def main(argv=None) -> int:
             status = 1
             continue
         elapsed = time.time() - started
+        live = [r for r in records if not r.cached and r.wall_time_s > 0]
+        sim_wall_s = sum(r.wall_time_s for r in live)
+        sim_events = sum(r.events_executed for r in live)
         if args.as_json:
             json_out[name] = {
                 "jobs": jobs,
                 "global_seed": args.seed,
                 "wall_time_s": round(elapsed, 3),
+                "sim_wall_s": round(sim_wall_s, 3),
+                "events_executed": sim_events,
+                "events_per_sec": round(sim_events / sim_wall_s, 1)
+                if sim_wall_s > 0 else 0.0,
                 "records": [r.to_json_dict() for r in records],
             }
         else:
             result = module.reduce(records)
             print(result.table())
             cached = sum(1 for r in records if r.cached)
+            rate = f", {sim_events / sim_wall_s / 1e3:.0f}k ev/s" if sim_wall_s else ""
             print(
                 f"[{name} done in {elapsed:.1f}s: {len(records)} cells, "
-                f"{cached} cached, jobs={jobs}]\n",
+                f"{cached} cached, jobs={jobs}{rate}]\n",
                 flush=True,
             )
     if args.as_json:

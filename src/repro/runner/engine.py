@@ -349,6 +349,7 @@ class RunEngine:
                     "ok": r.ok,
                     "cached": r.cached,
                     "wall_time_s": round(r.wall_time_s, 4),
+                    "events_per_sec": round(r.events_per_sec, 1),
                 }
                 for r in records
             ],

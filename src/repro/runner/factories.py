@@ -67,6 +67,7 @@ def sockperf_factory(
         interval_ns=params.get("interval_ns"),
         faults=params.get("faults"),
         obs=params.get("obs"),
+        selfprof=params.get("selfprof"),
     )
     return _scenario_measurements(res)
 
@@ -121,6 +122,7 @@ def multiflow_factory(
         placement=params.get("placement", "least-loaded"),
         faults=params.get("faults"),
         obs=params.get("obs"),
+        selfprof=params.get("selfprof"),
     )
     return _scenario_measurements(res)
 

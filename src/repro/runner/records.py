@@ -59,6 +59,8 @@ def scenario_result_to_dict(res: ScenarioResult) -> Dict[str, Any]:
     }
     if res.obs is not None:
         out["obs"] = dict(res.obs)
+    if res.selfprof is not None:
+        out["selfprof"] = dict(res.selfprof)
     return out
 
 
@@ -82,6 +84,7 @@ def scenario_result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
         conservation_checks=int(data.get("conservation_checks", 0)),
         conservation_violations=int(data.get("conservation_violations", 0)),
         obs=data.get("obs"),
+        selfprof=data.get("selfprof"),
     )
 
 

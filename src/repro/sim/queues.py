@@ -100,6 +100,18 @@ class FifoQueue(Generic[T]):
         """Install/replace the empty→non-empty transition callback."""
         self._on_first_put = cb
 
+    def stats(self) -> dict:
+        """Traffic snapshot (consumed by the self-profiler's queue report)."""
+        return {
+            "name": self.name,
+            "kind": "fifo",
+            "depth": len(self._items),
+            "capacity": self.capacity,
+            "puts": self.puts,
+            "gets": self.gets,
+            "drops": self.drops,
+        }
+
 
 class RingBuffer(Generic[T]):
     """NIC-style descriptor ring: fixed slots, tail-drop, drop counter."""
@@ -143,3 +155,15 @@ class RingBuffer(Generic[T]):
         """Remove and return at most ``budget`` oldest descriptors."""
         n = min(budget, len(self._items))
         return [self._items.popleft() for _ in range(n)]
+
+    def stats(self) -> dict:
+        """Traffic snapshot (consumed by the self-profiler's queue report)."""
+        return {
+            "name": self.name,
+            "kind": "ring",
+            "depth": len(self._items),
+            "capacity": self.size,
+            "puts": self.total_enqueued,
+            "gets": self.total_enqueued - len(self._items),
+            "drops": self.drops,
+        }

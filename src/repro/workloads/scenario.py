@@ -18,7 +18,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.cpu.topology import CpuSet
 from repro.faults.injectors import FaultInjectors
@@ -36,6 +36,7 @@ from repro.obs import (
     resolve_obs,
 )
 from repro.obs.config import ObsConfigLike
+from repro.perf.selfprof import SelfProfiler, resolve_selfprof
 from repro.netstack.nic import Nic, Wire
 from repro.netstack.packet import FlowKey
 from repro.netstack.pipeline import Pipeline, link_nodes
@@ -76,6 +77,9 @@ class ScenarioResult:
     #: flight-recorder payload (None unless the run was instrumented):
     #: recorder stats, latency decomposition, and interval time series
     obs: Optional[Dict] = None
+    #: simulator self-profile (None unless the run had ``selfprof`` on):
+    #: wall-clock cost centers, heap traffic, events/sec — see repro.perf
+    selfprof: Optional[Dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience printer
         return (
@@ -99,6 +103,7 @@ class Scenario:
         rss_core_indices: Optional[List[int]] = None,
         faults: FaultPlanLike = None,
         obs: ObsConfigLike = None,
+        selfprof: Union[None, bool, SelfProfiler] = None,
     ):
         if proto not in ("tcp", "udp"):
             raise ValueError(f"proto must be 'tcp' or 'udp', got {proto!r}")
@@ -160,6 +165,12 @@ class Scenario:
         # inert (None) and the run builds the exact same event schedule
         # and consumes the same randomness as an uninstrumented one.
         self.obs_config: Optional[ObsConfig] = resolve_obs(obs)
+        # Self-profiling mirrors the same discipline: None builds the
+        # identical object graph, and even when attached the profiler
+        # only *reads* wall clocks — simulated results never change.
+        self.selfprof: Optional[SelfProfiler] = resolve_selfprof(selfprof)
+        if self.selfprof is not None:
+            self.sim.profiler = self.selfprof
         self.recorder: Optional[FlightRecorder] = None
         self.journeys: Optional[JourneyTracker] = None
         self.intervals: Optional[IntervalMetrics] = None
@@ -341,6 +352,10 @@ class Scenario:
                 "decomposition": decompose(self.journeys).to_dict(),
                 "timeseries": self.intervals.to_dict() if self.intervals else None,
             }
+        selfprof_payload = None
+        if self.selfprof is not None:
+            self.selfprof.queue_stats = [q.ring.stats() for q in self.nic._queues]
+            selfprof_payload = self.selfprof.summary()
         return ScenarioResult(
             throughput_gbps=self.telemetry.window_rate_gbps(bytes_counter),
             messages_delivered=self.telemetry.window_count(
@@ -360,4 +375,5 @@ class Scenario:
             conservation_checks=checks,
             conservation_violations=violations,
             obs=obs_payload,
+            selfprof=selfprof_payload,
         )

@@ -115,6 +115,7 @@ def build_scenario(
     interval_ns: Optional[float] = None,
     faults=None,
     obs=None,
+    selfprof=None,
 ) -> Scenario:
     """Assemble the single-flow scenario for one (system, proto, size)."""
     sc = Scenario(
@@ -128,6 +129,7 @@ def build_scenario(
         rss_core_indices=[1, 2, 3] if system == "rss" else None,
         faults=faults,
         obs=obs,
+        selfprof=selfprof,
     )
     for _ in range(CLIENTS[proto]):
         if proto == "tcp":
@@ -150,6 +152,7 @@ def run_single_flow(
     interval_ns: Optional[float] = None,
     faults=None,
     obs=None,
+    selfprof=None,
 ) -> ScenarioResult:
     """Run one cell of Fig. 4a / Fig. 8a / Fig. 9."""
     sc = build_scenario(
@@ -163,6 +166,7 @@ def run_single_flow(
         interval_ns=interval_ns,
         faults=faults,
         obs=obs,
+        selfprof=selfprof,
     )
     return sc.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
 

@@ -13,7 +13,7 @@ class TestCli:
         choices = actions["command"].choices
         assert set(choices) == {
             "throughput", "latency", "multiflow", "memcached", "compare",
-            "ceilings", "faults", "trace",
+            "ceilings", "faults", "trace", "prof", "bench", "fidelity",
         }
 
     def test_throughput_command_runs(self, capsys):
