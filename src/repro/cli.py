@@ -13,6 +13,8 @@
     python -m repro prof       --system mflow --top 15
     python -m repro bench      --quick --compare benchmarks/baseline.json
     python -m repro fidelity   --quick
+    python -m repro resume     results/
+    python -m repro fsck       results/ --evict
 
 Every subcommand prints a small table; ``compare`` adds an ASCII bar
 chart; ``trace`` runs one instrumented scenario and exports flight-
@@ -22,7 +24,10 @@ bounds (no simulation).  The last three are the performance observatory
 (:mod:`repro.perf`): ``prof`` self-profiles the simulator's hot path,
 ``bench`` runs the statistical benchmark matrix (and gates regressions
 against a baseline), ``fidelity`` scores reproduced headline numbers
-against the paper within tolerance bands.
+against the paper within tolerance bands.  ``resume`` finishes an interrupted
+sweep from its ``sweep.json`` + result cache + simulator checkpoints;
+``fsck`` audits a results tree, classifying artifacts as ok,
+salvageable, or corrupt (:mod:`repro.resilience`).
 """
 
 from __future__ import annotations
@@ -385,6 +390,39 @@ def cmd_fidelity(args) -> int:
     return board.exit_code()
 
 
+def cmd_resume(args) -> int:
+    """Finish an interrupted sweep from sweep.json + cache + checkpoints."""
+    from repro.resilience.resume import ResumeError, resume_results
+
+    try:
+        report = resume_results(
+            args.results_dir, jobs=args.jobs, experiments=args.experiments or None
+        )
+    except ResumeError as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=1))
+    else:
+        print(report.report())
+    return report.exit_code()
+
+
+def cmd_fsck(args) -> int:
+    """Audit a results tree: ok vs salvageable vs corrupt artifacts."""
+    from repro.resilience.fsck import fsck_results
+
+    report = fsck_results(args.results_dir, evict=args.evict)
+    if args.json_out:
+        from repro.resilience.atomic import atomic_write_json
+
+        atomic_write_json(args.json_out, report.to_json_dict())
+    if args.json:
+        print(json.dumps(report.to_json_dict(), indent=1))
+    else:
+        print(report.report())
+    return report.exit_code()
+
+
 def cmd_ceilings(args) -> int:
     overlay = BottleneckModel(DEFAULT_COSTS, proto=args.proto, overlay=True)
     native = BottleneckModel(DEFAULT_COSTS, proto=args.proto, overlay=False)
@@ -504,6 +542,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=65536)
     _add_common(p)
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "resume", help="finish an interrupted sweep (cache + checkpoints)"
+    )
+    p.add_argument("results_dir", help="results root holding <experiment>/sweep.json")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count; 1 = in-process serial)",
+    )
+    p.add_argument(
+        "--experiments", nargs="*", default=None, metavar="NAME",
+        help="subset of experiments to resume (default: every sweep found)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser(
+        "fsck", help="validate results artifacts (schemas, digests, journals)"
+    )
+    p.add_argument("results_dir", help="results root to audit")
+    p.add_argument(
+        "--evict", action="store_true",
+        help="delete corrupt cache entries and checkpoints (both re-derivable)",
+    )
+    p.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="also write the report as JSON (atomically)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p.set_defaults(fn=cmd_fsck)
 
     p = sub.add_parser("ceilings", help="analytic bottleneck upper bounds")
     p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")

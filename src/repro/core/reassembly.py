@@ -245,31 +245,34 @@ class ReassemblyStage(Stage):
         if self._timer_armed.get(flow) or st.parked == 0:
             return
         self._timer_armed[flow] = True
-        pipeline, node, core = ctx.pipeline, ctx.node, ctx.core
-        sim = ctx.sim
+        # the timer callback is a bound method (not a closure) so a live
+        # event heap stays picklable for checkpoints
+        ctx.sim.call_in(
+            self.timeout_ns,
+            self._progress_check, flow, ctx.pipeline, ctx.node, ctx.core,
+        )
 
-        def check() -> None:
-            state = self._flows.get(flow)
-            if state is None or state.parked == 0:
-                self._timer_armed[flow] = False
-                return
-            idle = sim.now - state.last_progress_ns
-            if idle >= self.timeout_ns:
-                if pipeline.obs is not None:
-                    pipeline.obs.instant(
-                        "mflow_merge_skip", core=core.id, reason="timeout",
-                        counter=state.counter, parked=state.parked,
-                    )
-                self._advance(state)
-                self.merge_skips += 1
-                state.skips += 1
-                state.last_progress_ns = sim.now
-                fake_ctx = StageContext(pipeline, node, core)
-                for skb in self._drain(state, fake_ctx):
-                    pipeline.inject(node.next, skb, core)
-            sim.call_in(self.timeout_ns, check)
-
-        sim.call_in(self.timeout_ns, check)
+    def _progress_check(self, flow: FlowKey, pipeline, node, core) -> None:
+        sim = pipeline.sim
+        state = self._flows.get(flow)
+        if state is None or state.parked == 0:
+            self._timer_armed[flow] = False
+            return
+        idle = sim.now - state.last_progress_ns
+        if idle >= self.timeout_ns:
+            if pipeline.obs is not None:
+                pipeline.obs.instant(
+                    "mflow_merge_skip", core=core.id, reason="timeout",
+                    counter=state.counter, parked=state.parked,
+                )
+            self._advance(state)
+            self.merge_skips += 1
+            state.skips += 1
+            state.last_progress_ns = sim.now
+            fake_ctx = StageContext(pipeline, node, core)
+            for skb in self._drain(state, fake_ctx):
+                pipeline.inject(node.next, skb, core)
+        sim.call_in(self.timeout_ns, self._progress_check, flow, pipeline, node, core)
 
     def parked_total(self) -> int:
         return sum(st.parked for st in self._flows.values())

@@ -112,6 +112,16 @@ def main(argv=None) -> int:
         "--timeout-s", type=float, default=DEFAULT_TIMEOUT_S,
         help=f"per-cell wall-time cap before the worker is killed (default {DEFAULT_TIMEOUT_S:.0f})",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retries per cell after a crash/timeout/exception, with "
+             "exponential backoff (default 1); exhausted cells are quarantined",
+    )
+    parser.add_argument(
+        "--checkpoint-s", type=float, default=None, metavar="SECONDS",
+        help="snapshot each simulator every SECONDS of wall time so killed "
+             "cells resume mid-run (`repro resume`); default: off",
+    )
     args = parser.parse_args(argv)
 
     names = args.figures or list(MODULES)
@@ -129,9 +139,11 @@ def main(argv=None) -> int:
             jobs=jobs,
             global_seed=args.seed,
             timeout_s=args.timeout_s,
+            retries=args.max_retries,
             results_dir=args.results_dir,
             use_cache=not args.no_cache,
             progress=_progress(name) if sys.stderr.isatty() else None,
+            checkpoint_wall_s=args.checkpoint_s,
         )
         started = time.time()
         try:

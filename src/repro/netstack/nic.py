@@ -181,6 +181,11 @@ class Wire:
         #: the conservation watchdog's notion of "sent"
         self.packets_carried = 0
 
+    def sent_packet_count(self) -> int:
+        """Picklable accessor for the conservation watchdog (a bound
+        method checkpoints; a lambda would not)."""
+        return self.packets_carried
+
     def send(self, pkt: Packet) -> None:
         """Transmit one frame towards the destination NIC."""
         self.packets_carried += 1

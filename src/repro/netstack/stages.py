@@ -169,24 +169,29 @@ class GroStage(Stage):
         if self._timer_armed.get(key):
             return
         self._timer_armed[key] = True
-        node, pipeline, core = ctx.node, ctx.pipeline, ctx.core
-        timeout = ctx.costs.gro_flush_timeout_ns
-        sim = ctx.sim
+        # the timer callback is a bound method (not a closure) so a live
+        # event heap stays picklable for checkpoints
+        ctx.sim.call_in(
+            ctx.costs.gro_flush_timeout_ns,
+            self._flush_check, key, ctx.pipeline, ctx.node, ctx.core,
+        )
 
-        def check() -> None:
-            held = self._held.get(key)
-            if held is None:
-                self._timer_armed.pop(key, None)
-                return
-            idle = sim.now - self._last_touch.get(key, sim.now)
-            # the 1 ns slack guards against float-precision re-arm loops
-            if idle >= timeout - 1.0:
-                self._timer_armed.pop(key, None)
-                pipeline.inject(node.next, self._take(key), core)
-            else:
-                sim.call_in(max(timeout - idle, 1.0), check)
-
-        sim.call_in(timeout, check)
+    def _flush_check(self, key: object, pipeline, node, core) -> None:
+        sim = pipeline.sim
+        timeout = pipeline.costs.gro_flush_timeout_ns
+        held = self._held.get(key)
+        if held is None:
+            self._timer_armed.pop(key, None)
+            return
+        idle = sim.now - self._last_touch.get(key, sim.now)
+        # the 1 ns slack guards against float-precision re-arm loops
+        if idle >= timeout - 1.0:
+            self._timer_armed.pop(key, None)
+            pipeline.inject(node.next, self._take(key), core)
+        else:
+            sim.call_in(
+                max(timeout - idle, 1.0), self._flush_check, key, pipeline, node, core
+            )
 
     def held_count(self) -> int:
         """Number of flows with an skb currently parked in GRO."""

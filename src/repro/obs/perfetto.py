@@ -128,8 +128,9 @@ def write_trace(rec: FlightRecorder, dest: Union[str, IO[str]], label: str = "re
     """Serialize the trace to ``dest`` (path or file object); returns it."""
     trace = to_trace_events(rec, label=label)
     if hasattr(dest, "write"):
-        json.dump(trace, dest)
+        json.dump(trace, dest)  # atomic-ok: stream (caller owns the file)
     else:
-        with open(dest, "w", encoding="utf-8") as fh:
-            json.dump(trace, fh)
+        from repro.resilience.atomic import atomic_write_json
+
+        atomic_write_json(dest, trace, indent=None)
     return trace

@@ -161,10 +161,15 @@ class IntervalMetrics:
                 writer.writerow(row)
 
         if hasattr(dest, "write"):
-            _dump(dest)
+            _dump(dest)  # atomic-ok: stream (caller owns the file)
         else:
-            with open(dest, "w", newline="", encoding="utf-8") as fh:
-                _dump(fh)
+            import io
+
+            from repro.resilience.atomic import atomic_write_text
+
+            buf = io.StringIO(newline="")
+            _dump(buf)
+            atomic_write_text(dest, buf.getvalue())
         return len(self.rows)
 
 

@@ -222,9 +222,9 @@ def bench_payload(
 
 
 def write_payload(payload: Dict[str, Any], path: Path) -> Path:
-    path = Path(path)
-    path.write_text(json.dumps(payload, indent=1) + "\n")
-    return path
+    from repro.resilience.atomic import atomic_write_json
+
+    return atomic_write_json(path, payload, trailing_newline=True)
 
 
 def load_payload(path: Path) -> Dict[str, Any]:

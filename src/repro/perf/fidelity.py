@@ -191,14 +191,14 @@ class Scoreboard:
         }
 
     def write_json(self, path: Path) -> Path:
-        path = Path(path)
-        path.write_text(json.dumps(self.to_json_dict(), indent=1) + "\n")
-        return path
+        from repro.resilience.atomic import atomic_write_json
+
+        return atomic_write_json(path, self.to_json_dict(), trailing_newline=True)
 
     def write_markdown(self, path: Path) -> Path:
-        path = Path(path)
-        path.write_text(self.markdown())
-        return path
+        from repro.resilience.atomic import atomic_write_text
+
+        return atomic_write_text(path, self.markdown())
 
 
 def _ratio(num: float, den: float) -> float:

@@ -1,0 +1,221 @@
+"""Artifact integrity checking (``repro fsck <results-dir>``).
+
+Walks a results tree and validates every artifact the harness can leave
+behind — sweep definitions, manifests, run records, journals, cache
+entries, and simulator checkpoints — classifying each as:
+
+* **ok** — parses, matches its schema, digests verify;
+* **salvageable** — damaged in a way resume tolerates by design (a torn
+  journal tail from a mid-append kill, a leftover checkpoint whose code
+  version went stale, a manifest missing because the sweep never
+  finished);
+* **corrupt** — bytes that claim to be an artifact but fail validation
+  (truncated JSON, checkpoint digest mismatch, a record whose key does
+  not match its filename).
+
+Checkpoint payloads are digest-verified *without unpickling* — fsck
+never executes data from a damaged file.  ``--evict`` deletes corrupt
+cache entries and checkpoints (both are re-derivable); records and
+manifests are never auto-deleted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.resilience.atomic import read_jsonl
+from repro.resilience.checkpoint import CheckpointError, verify_checkpoint
+from repro.runner.records import RunRecord
+from repro.runner.spec import RunSpec
+
+#: artifact states, in increasing order of severity
+OK, SALVAGEABLE, CORRUPT = "ok", "salvageable", "corrupt"
+
+
+@dataclass
+class Finding:
+    """One checked artifact."""
+
+    path: str
+    kind: str      # "sweep" | "manifest" | "record" | "journal" | "cache" | "checkpoint"
+    state: str     # OK | SALVAGEABLE | CORRUPT
+    detail: str = ""
+    evicted: bool = False
+
+
+@dataclass
+class FsckReport:
+    results_dir: str
+    findings: List[Finding] = field(default_factory=list)
+
+    def add(self, path: Path, kind: str, state: str, detail: str = "") -> Finding:
+        finding = Finding(str(path), kind, state, detail)
+        self.findings.append(finding)
+        return finding
+
+    def count(self, state: str) -> int:
+        return sum(1 for f in self.findings if f.state == state)
+
+    @property
+    def ok(self) -> bool:
+        return self.count(CORRUPT) == 0
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "repro-fsck-report",
+            "results_dir": self.results_dir,
+            "ok": self.ok,
+            "checked": len(self.findings),
+            "counts": {s: self.count(s) for s in (OK, SALVAGEABLE, CORRUPT)},
+            "findings": [
+                {
+                    "path": f.path,
+                    "kind": f.kind,
+                    "state": f.state,
+                    "detail": f.detail,
+                    "evicted": f.evicted,
+                }
+                for f in self.findings
+                if f.state != OK
+            ],
+        }
+
+    def report(self) -> str:
+        lines = [
+            f"fsck {self.results_dir}: {len(self.findings)} artifacts — "
+            f"{self.count(OK)} ok, {self.count(SALVAGEABLE)} salvageable, "
+            f"{self.count(CORRUPT)} corrupt"
+        ]
+        for f in self.findings:
+            if f.state == OK:
+                continue
+            suffix = " [evicted]" if f.evicted else ""
+            lines.append(f"  {f.state.upper():<11} {f.kind:<10} {f.path}: {f.detail}{suffix}")
+        lines.append("OK" if self.ok else "CORRUPT ARTIFACTS FOUND")
+        return "\n".join(lines)
+
+
+def _load_json(path: Path) -> Any:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _check_sweep(report: FsckReport, path: Path) -> None:
+    try:
+        data = _load_json(path)
+        if not isinstance(data, dict) or data.get("kind") != "repro-sweep":
+            raise ValueError("not a repro-sweep payload")
+        specs = [RunSpec.from_json_dict(s) for s in data["specs"]]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        report.add(path, "sweep", CORRUPT, str(exc))
+        return
+    report.add(path, "sweep", OK, f"{len(specs)} specs")
+
+
+def _check_manifest(report: FsckReport, path: Path) -> None:
+    if not path.exists():
+        report.add(
+            path, "manifest", SALVAGEABLE,
+            "missing (sweep interrupted before completion; resume rebuilds it)",
+        )
+        return
+    try:
+        data = _load_json(path)
+        if not isinstance(data, dict) or not isinstance(data.get("runs"), list):
+            raise ValueError("no runs list")
+    except (OSError, ValueError) as exc:
+        report.add(path, "manifest", CORRUPT, str(exc))
+        return
+    report.add(path, "manifest", OK, f"{len(data['runs'])} runs")
+
+
+def _check_record(report: FsckReport, path: Path) -> None:
+    try:
+        data = _load_json(path)
+        record = RunRecord.from_json_dict(data)
+        if not record.spec_key.startswith(path.stem):
+            raise ValueError(
+                f"spec key {record.spec_key[:16]} does not match filename"
+            )
+    except (OSError, ValueError, TypeError) as exc:
+        report.add(path, "record", CORRUPT, str(exc))
+        return
+    report.add(path, "record", OK)
+
+
+def _check_journal(report: FsckReport, path: Path) -> None:
+    entries, torn = read_jsonl(path)
+    if torn:
+        report.add(
+            path, "journal", SALVAGEABLE,
+            f"{torn} torn line(s) skipped, {len(entries)} entries readable",
+        )
+    elif not entries:
+        report.add(path, "journal", SALVAGEABLE, "empty journal")
+    else:
+        report.add(path, "journal", OK, f"{len(entries)} entries")
+
+
+def _check_cache_entry(report: FsckReport, path: Path, evict: bool) -> None:
+    try:
+        data = _load_json(path)
+        if not isinstance(data, dict):
+            raise ValueError("payload is not an object")
+    except (OSError, ValueError) as exc:
+        finding = report.add(path, "cache", CORRUPT, str(exc))
+        if evict:
+            path.unlink(missing_ok=True)
+            finding.evicted = True
+        return
+    report.add(path, "cache", OK)
+
+
+def _check_checkpoint(report: FsckReport, path: Path, evict: bool) -> None:
+    try:
+        header = verify_checkpoint(path)
+    except CheckpointError as exc:
+        finding = report.add(path, "checkpoint", CORRUPT, str(exc))
+        if evict:
+            path.unlink(missing_ok=True)
+            finding.evicted = True
+        return
+    # an intact leftover checkpoint is salvageable by definition: it only
+    # exists because its run never completed
+    report.add(
+        path, "checkpoint", SALVAGEABLE,
+        f"resumable snapshot at sim_ns={header.get('sim_ns')}",
+    )
+
+
+def fsck_results(results_dir: Path, evict: bool = False) -> FsckReport:
+    """Validate every artifact under a results root; see module docstring."""
+    results_dir = Path(results_dir)
+    report = FsckReport(results_dir=str(results_dir))
+    for sweep_path in sorted(results_dir.glob("*/sweep.json")):
+        exp_dir = sweep_path.parent
+        _check_sweep(report, sweep_path)
+        _check_manifest(report, exp_dir / "manifest.json")
+        journal = exp_dir / "journal.jsonl"
+        if journal.exists():
+            _check_journal(report, journal)
+        for record_path in sorted((exp_dir / "runs").glob("*.json")):
+            _check_record(report, record_path)
+    # experiments written before sweep.json existed still get their
+    # manifests and records checked
+    for manifest_path in sorted(results_dir.glob("*/manifest.json")):
+        if (manifest_path.parent / "sweep.json").exists():
+            continue
+        _check_manifest(report, manifest_path)
+        for record_path in sorted((manifest_path.parent / "runs").glob("*.json")):
+            _check_record(report, record_path)
+    for cache_path in sorted((results_dir / ".cache").glob("*.json")):
+        _check_cache_entry(report, cache_path, evict)
+    for ckpt_path in sorted((results_dir / "checkpoints").glob("*.ckpt")):
+        _check_checkpoint(report, ckpt_path, evict)
+    return report

@@ -1,0 +1,178 @@
+"""Supervised resume of interrupted sweeps.
+
+``repro resume <results-dir>`` finishes whatever a killed or crashed
+``repro experiments`` run left behind.  It works from the artifacts the
+engine persists *before* executing anything:
+
+* ``<experiment>/sweep.json`` — the full spec list plus the engine
+  configuration (global seed, timeout, retries, checkpoint policy), so
+  the sweep can be reconstructed without re-deriving it from experiment
+  modules;
+* ``.cache/`` — completed specs are salvaged as cache hits (keyed on
+  spec + code version, so a code change since the crash correctly
+  invalidates them);
+* ``checkpoints/`` — interrupted specs restart from their latest
+  simulator snapshot instead of from scratch.
+
+Because every spec's seed derives from ``(global_seed, spec key)`` and
+checkpoint restores are bit-identical, a resumed sweep produces records
+whose measurements equal the uninterrupted run's — the property
+``tests/test_resilience.py`` locks in.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runner.engine import RunEngine, RunFailure, SWEEP_KIND
+from repro.runner.records import RunRecord
+from repro.runner.spec import RunSpec
+
+
+class ResumeError(RuntimeError):
+    """The results directory holds nothing resumable."""
+
+
+@dataclass
+class ExperimentResume:
+    """Outcome of resuming one experiment's sweep."""
+
+    experiment: str
+    n_specs: int = 0
+    salvaged: int = 0          # completed before the interruption (cache hits)
+    executed: int = 0          # run (or finished from a checkpoint) now
+    restored: int = 0          # of those, runs that started from a snapshot
+    failed: int = 0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and self.failed == 0
+
+
+@dataclass
+class ResumeReport:
+    """Everything ``repro resume`` did, per experiment."""
+
+    results_dir: str
+    experiments: List[ExperimentResume] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(e.ok for e in self.experiments)
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "repro-resume-report",
+            "results_dir": self.results_dir,
+            "ok": self.ok,
+            "experiments": [
+                {
+                    "experiment": e.experiment,
+                    "n_specs": e.n_specs,
+                    "salvaged": e.salvaged,
+                    "executed": e.executed,
+                    "restored": e.restored,
+                    "failed": e.failed,
+                    "error": e.error,
+                }
+                for e in self.experiments
+            ],
+        }
+
+    def report(self) -> str:
+        lines = [f"resume {self.results_dir}:"]
+        for e in self.experiments:
+            if e.error:
+                lines.append(f"  {e.experiment}: ERROR {e.error}")
+                continue
+            lines.append(
+                f"  {e.experiment}: {e.n_specs} specs — "
+                f"{e.salvaged} salvaged, {e.executed} executed "
+                f"({e.restored} from checkpoints), {e.failed} failed"
+            )
+        lines.append("OK" if self.ok else "FAILED")
+        return "\n".join(lines)
+
+
+def load_sweep(path: Path) -> Dict[str, Any]:
+    """Parse and validate one ``sweep.json``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("kind") != SWEEP_KIND:
+        raise ResumeError(f"{path}: not a {SWEEP_KIND} file")
+    if "specs" not in data or not isinstance(data["specs"], list):
+        raise ResumeError(f"{path}: no spec list")
+    return data
+
+
+def find_sweeps(results_dir: Path) -> List[Path]:
+    """Every ``<experiment>/sweep.json`` under a results root, sorted."""
+    return sorted(
+        p for p in results_dir.glob("*/sweep.json")
+        if p.parent.name not in (".cache", "checkpoints")
+    )
+
+
+def resume_results(
+    results_dir: Path,
+    jobs: Optional[int] = None,
+    experiments: Optional[List[str]] = None,
+    progress: Optional[Callable[[int, int, RunRecord], None]] = None,
+) -> ResumeReport:
+    """Finish every interrupted sweep under ``results_dir``.
+
+    Salvages completed specs through the result cache, restarts
+    interrupted specs from their latest checkpoint, and re-runs the
+    rest.  Failures are quarantined per experiment (strict mode off):
+    one impossible spec must not block salvaging its siblings.
+    """
+    results_dir = Path(results_dir)
+    sweeps = find_sweeps(results_dir)
+    if experiments:
+        wanted = set(experiments)
+        sweeps = [p for p in sweeps if p.parent.name in wanted]
+    if not sweeps:
+        raise ResumeError(f"{results_dir}: no sweep.json found — nothing to resume")
+    report = ResumeReport(results_dir=str(results_dir))
+    for sweep_path in sweeps:
+        name = sweep_path.parent.name
+        outcome = ExperimentResume(experiment=name)
+        report.experiments.append(outcome)
+        try:
+            sweep = load_sweep(sweep_path)
+            specs = [RunSpec.from_json_dict(s) for s in sweep["specs"]]
+        except (OSError, ValueError, KeyError, TypeError, ResumeError) as exc:
+            outcome.error = str(exc)
+            continue
+        outcome.n_specs = len(specs)
+        engine = RunEngine(
+            jobs=jobs,
+            global_seed=int(sweep.get("global_seed", 0)),
+            timeout_s=sweep.get("timeout_s"),
+            retries=int(sweep.get("retries", 1)),
+            results_dir=results_dir,
+            use_cache=True,
+            strict=False,  # quarantine instead of aborting sibling sweeps
+            progress=progress,
+            checkpoint_sim_ns=sweep.get("checkpoint_sim_ns"),
+            checkpoint_wall_s=sweep.get("checkpoint_wall_s"),
+        )
+        try:
+            records = engine.run(name, specs)
+        except RunFailure as exc:  # pragma: no cover - strict is off
+            outcome.error = str(exc)
+            continue
+        outcome.salvaged = sum(1 for r in records if r.cached)
+        outcome.executed = sum(1 for r in records if not r.cached)
+        outcome.restored = sum(
+            1 for r in records if not r.cached and r.checkpoint_restores > 0
+        )
+        outcome.failed = sum(1 for r in records if not r.ok)
+    return report

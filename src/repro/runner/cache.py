@@ -5,16 +5,24 @@ version is a content hash of every ``*.py`` file in the installed
 ``repro`` package — editing any simulator source invalidates every
 cached cell automatically, so re-running a sweep only executes changed
 or new cells and never serves stale physics.
+
+A damaged entry (truncated write, corrupted JSON, wrong payload shape)
+is treated as a **miss**: it is logged, evicted from disk, and the spec
+re-executes.  The cache never raises on bad bytes and never serves
+anything it cannot fully parse.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
-import os
-import tempfile
+import hashlib
+import logging
 from pathlib import Path
 from typing import Any, Dict, Optional
+
+from repro.resilience.atomic import atomic_write_json
+
+logger = logging.getLogger("repro.runner.cache")
 
 _CODE_VERSION: Optional[str] = None
 
@@ -47,34 +55,44 @@ class ResultCache:
         self.dir = Path(root) / ".cache"
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def _path(self, spec_key: str, version: str) -> Path:
         return self.dir / f"{cache_key(spec_key, version)}.json"
 
+    def _evict(self, path: Path, reason: str) -> None:
+        self.evictions += 1
+        logger.warning("evicting corrupt cache entry %s: %s", path.name, reason)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def get(self, spec_key: str, version: str) -> Optional[Dict[str, Any]]:
-        """The cached record dict for ``(spec, code version)``, or None."""
+        """The cached record dict for ``(spec, code version)``, or None.
+
+        A missing file is a plain miss; an unreadable, truncated, or
+        structurally invalid one is a miss that also evicts the entry.
+        """
         path = self._path(spec_key, version)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError) as exc:
+            self._evict(path, f"unparseable: {exc}")
+            self.misses += 1
+            return None
+        if not isinstance(data, dict) or data.get("spec_key", spec_key) != spec_key:
+            self._evict(path, "payload is not a record for this spec")
             self.misses += 1
             return None
         self.hits += 1
         return data
 
     def put(self, spec_key: str, version: str, record: Dict[str, Any]) -> None:
-        """Atomically persist a record dict (rename over a temp file)."""
+        """Durably persist a record dict (tmp file + fsync + rename)."""
         self.dir.mkdir(parents=True, exist_ok=True)
-        path = self._path(spec_key, version)
-        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(record, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(self._path(spec_key, version), record, indent=None)

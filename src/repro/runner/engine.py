@@ -7,30 +7,40 @@ path kept for debugging).  Guarantees:
 * **Determinism** — every spec's scenario seed is derived from
   ``(global_seed, spec key)``, never from scheduling order, so serial
   and parallel sweeps produce bit-identical measurements.
-* **Fault tolerance** — a worker that crashes, raises, or exceeds the
-  per-spec timeout is retried (default: once) on a fresh process; a spec
-  that still fails is reported in its record and, under ``strict``, as a
-  :class:`RunFailure` — never silently dropped.
+* **Supervision** — a worker that crashes, raises, or exceeds the
+  per-spec timeout is retried (default: once) on a fresh process with
+  bounded exponential backoff; a spec that exhausts its retry budget is
+  *quarantined* — recorded as failed, listed in the manifest, and the
+  rest of the matrix keeps running.  Under ``strict`` the quarantined
+  specs still surface as a :class:`RunFailure` once the sweep finishes —
+  never silently dropped, never aborting sibling cells.
+* **Crash safety** — with a ``results_dir``, workers run inside a
+  checkpoint scope: the simulator periodically snapshots its full state
+  (:mod:`repro.resilience.checkpoint`) and a retried or resumed spec
+  restarts from the latest snapshot instead of from scratch.  A
+  ``sweep.json`` (the spec list) and an append-only ``journal.jsonl``
+  (per-spec status) are written up front so ``repro resume`` can
+  reconstruct and finish an interrupted sweep.
 * **Artifacts & cache** — when given a ``results_dir``, every completed
-  spec is written as a JSON record under ``results/<experiment>/runs/``
-  (plus a sweep ``manifest.json``) and memoized in a content-addressed
-  cache keyed on ``(spec, code version)``, so re-running a sweep only
-  executes changed cells.
+  spec is written (atomically: tmp + fsync + rename) as a JSON record
+  under ``results/<experiment>/runs/`` (plus a sweep ``manifest.json``)
+  and memoized in a content-addressed cache keyed on
+  ``(spec, code version)``, so re-running a sweep only executes changed
+  cells.
 """
 
 from __future__ import annotations
 
-import json
 import multiprocessing as mp
 import os
 import time
 import traceback
-from collections import deque
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.resilience.atomic import append_jsonl, atomic_write_json
 from repro.runner.cache import ResultCache, code_version
 from repro.runner.records import RunRecord
 from repro.runner.registry import resolve
@@ -38,6 +48,13 @@ from repro.runner.spec import RunSpec
 
 #: default hard cap on one spec's wall time before the worker is killed
 DEFAULT_TIMEOUT_S = 900.0
+#: retry backoff: min(cap, base * 2**(attempt-1)) seconds before attempt N
+DEFAULT_BACKOFF_BASE_S = 0.5
+DEFAULT_BACKOFF_CAP_S = 30.0
+
+#: sweep.json schema
+SWEEP_SCHEMA_VERSION = 1
+SWEEP_KIND = "repro-sweep"
 
 ProgressFn = Callable[[int, int, RunRecord], None]
 
@@ -63,6 +80,7 @@ class EngineEvent:
     kind: str          # "crash" | "exception" | "timeout" | "retry" | "failed"
     attempt: int
     detail: str = ""
+    backoff_s: float = 0.0
 
 
 def execute_spec(spec: RunSpec, seed: int, attempt: int = 0) -> Dict[str, Any]:
@@ -73,15 +91,39 @@ def execute_spec(spec: RunSpec, seed: int, attempt: int = 0) -> Dict[str, Any]:
     return factory(params, seed, spec.warmup_ns, spec.measure_ns)
 
 
-def _worker_main(conn, spec: RunSpec, seed: int, attempt: int) -> None:
+def _execute_scoped(
+    spec: RunSpec, seed: int, attempt: int, ckpt: Optional[Dict[str, Any]]
+) -> Tuple[Dict[str, Any], int]:
+    """Run one spec, optionally inside a checkpoint scope.
+
+    Returns ``(measurements, checkpoint_restores)``.  ``ckpt`` is the
+    engine's checkpoint policy: ``{"dir", "sim_ns", "wall_s"}`` — with
+    both intervals None the scope is restore-only (leftover snapshots
+    from a killed run are consumed, no new ones written).
+    """
+    if ckpt is None:
+        return execute_spec(spec, seed, attempt), 0
+    from repro.resilience.checkpoint import checkpoint_scope
+
+    with checkpoint_scope(
+        Path(ckpt["dir"]),
+        spec.key,
+        every_sim_ns=ckpt.get("sim_ns"),
+        every_wall_s=ckpt.get("wall_s"),
+    ) as cctx:
+        measurements = execute_spec(spec, seed, attempt)
+    return measurements, cctx.restores
+
+
+def _worker_main(conn, spec: RunSpec, seed: int, attempt: int, ckpt=None) -> None:
     """Worker-process entry: run one spec, ship the outcome, exit."""
     try:
         started = time.perf_counter()
-        measurements = execute_spec(spec, seed, attempt)
-        conn.send(("ok", measurements, time.perf_counter() - started))
+        measurements, restores = _execute_scoped(spec, seed, attempt, ckpt)
+        conn.send(("ok", measurements, time.perf_counter() - started, restores))
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc(limit=20), 0.0))
+            conn.send(("error", traceback.format_exc(limit=20), 0.0, 0))
         except Exception:
             pass
     finally:
@@ -114,6 +156,10 @@ class RunEngine:
         use_cache: bool = True,
         strict: bool = True,
         progress: Optional[ProgressFn] = None,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        checkpoint_sim_ns: Optional[float] = None,
+        checkpoint_wall_s: Optional[float] = None,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.global_seed = global_seed
@@ -123,14 +169,25 @@ class RunEngine:
         self.use_cache = use_cache and self.results_dir is not None
         self.strict = strict
         self.progress = progress
+        self.backoff_base_s = max(0.0, backoff_base_s)
+        self.backoff_cap_s = max(0.0, backoff_cap_s)
+        self.checkpoint_sim_ns = checkpoint_sim_ns
+        self.checkpoint_wall_s = checkpoint_wall_s
         self.events: List[EngineEvent] = []
+        #: spec keys quarantined (failed after full retry budget) last run
+        self.quarantined: List[str] = []
+        self._retry_hist: Dict[int, List[Dict[str, Any]]] = {}
+        self._journal_path: Optional[Path] = None
 
     # ----------------------------------------------------------------- API
     def run(self, experiment: str, specs: Sequence[RunSpec]) -> List[RunRecord]:
         """Execute every spec; records come back in spec order."""
         self.events = []
+        self.quarantined = []
+        self._retry_hist = {}
         version = code_version()
         cache = ResultCache(self.results_dir) if self.use_cache else None
+        self._begin_artifacts(experiment, specs, version)
         records: List[Optional[RunRecord]] = [None] * len(specs)
         done_count = 0
         pending: List[int] = []
@@ -144,22 +201,31 @@ class RunEngine:
                 record.cached = True
                 records[i] = record
                 done_count += 1
+                self._journal("spec", record)
                 self._emit_progress(done_count, len(specs), record)
             else:
                 pending.append(i)
 
         def finish(i: int, record: RunRecord) -> None:
             nonlocal done_count
+            record.retries = list(self._retry_hist.get(i, []))
+            record.timeout_s = self._effective_timeout(specs[i])
             records[i] = record
             done_count += 1
-            if record.ok and cache is not None:
-                cache.put(specs[i].key, version, record.to_json_dict())
+            if record.ok:
+                if cache is not None:
+                    cache.put(specs[i].key, version, record.to_json_dict())
+                self._discard_checkpoints(specs[i])
+            else:
+                record.quarantined = True
+                self.quarantined.append(record.spec_key)
+            self._journal("spec", record)
             self._emit_progress(done_count, len(specs), record)
 
         if pending:
             if self.jobs == 1:
                 for i in pending:
-                    finish(i, self._run_serial(experiment, specs[i], version))
+                    finish(i, self._run_serial(experiment, specs[i], version, i))
             else:
                 self._run_parallel(experiment, specs, pending, version, finish)
 
@@ -171,22 +237,72 @@ class RunEngine:
             raise RunFailure(failed)
         return final
 
+    # ---------------------------------------------------------- supervision
+    def _effective_timeout(self, spec: RunSpec) -> Optional[float]:
+        return spec.timeout_s if spec.timeout_s is not None else self.timeout_s
+
+    def _backoff_s(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (1-based): bounded exponential."""
+        if self.backoff_base_s <= 0.0 or attempt < 1:
+            return 0.0
+        return min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 1))
+
+    def _note_retry(self, index: int, spec: RunSpec, attempt: int, cause: str) -> float:
+        """Record a scheduled retry; returns its backoff delay."""
+        backoff = self._backoff_s(attempt)
+        self._retry_hist.setdefault(index, []).append(
+            {"attempt": attempt, "cause": cause, "backoff_s": backoff}
+        )
+        self._note(spec, "retry", attempt, backoff_s=backoff)
+        return backoff
+
+    def _checkpoint_cfg(self) -> Optional[Dict[str, Any]]:
+        """The checkpoint policy passed to workers (None = no scope)."""
+        if self.results_dir is None:
+            return None
+        ckpt_dir = self.results_dir / "checkpoints"
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        return {
+            "dir": str(ckpt_dir),
+            "sim_ns": self.checkpoint_sim_ns,
+            "wall_s": self.checkpoint_wall_s,
+        }
+
+    def _discard_checkpoints(self, spec: RunSpec) -> None:
+        """A spec completed: its snapshots (all slots) are spent."""
+        if self.results_dir is None:
+            return
+        ckpt_dir = self.results_dir / "checkpoints"
+        for path in ckpt_dir.glob(f"{spec.short_key}.*.ckpt"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     # -------------------------------------------------------------- serial
-    def _run_serial(self, experiment: str, spec: RunSpec, version: str) -> RunRecord:
+    def _run_serial(
+        self, experiment: str, spec: RunSpec, version: str, index: int
+    ) -> RunRecord:
         """In-process execution (no subprocess, so no hang protection);
         exceptions still get the same retry budget as worker crashes."""
         record = RunRecord.for_spec(spec, self.global_seed, experiment, version)
+        ckpt = self._checkpoint_cfg()
         for attempt in range(self.retries + 1):
             try:
                 started = time.perf_counter()
-                measurements = execute_spec(spec, record.seed, attempt)
+                measurements, restores = _execute_scoped(
+                    spec, record.seed, attempt, ckpt
+                )
                 return self._complete(record, measurements,
-                                      time.perf_counter() - started, attempt + 1)
+                                      time.perf_counter() - started,
+                                      attempt + 1, restores)
             except Exception:
                 detail = traceback.format_exc(limit=20)
                 self._note(spec, "exception", attempt, detail)
                 if attempt < self.retries:
-                    self._note(spec, "retry", attempt + 1)
+                    backoff = self._note_retry(index, spec, attempt + 1, "exception")
+                    if backoff > 0.0:
+                        time.sleep(backoff)
         record.error = f"failed after {self.retries + 1} attempt(s): exception"
         record.attempts = self.retries + 1
         self._note(spec, "failed", self.retries, record.error)
@@ -204,18 +320,19 @@ class RunEngine:
         ctx = mp.get_context(
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
-        todo = deque((i, 0) for i in pending)
+        ckpt = self._checkpoint_cfg()
+        # (spec index, attempt, not-before monotonic time) — backoff keeps
+        # a retried spec out of the launch loop without stalling siblings
+        todo: List[Tuple[int, int, float]] = [(i, 0, 0.0) for i in pending]
         active: Dict[Any, _Active] = {}
-        failures: Dict[int, str] = {}
 
         def fail_or_retry(index: int, attempt: int, kind: str, detail: str) -> None:
             spec = specs[index]
             self._note(spec, kind, attempt, detail)
             if attempt < self.retries:
-                self._note(spec, "retry", attempt + 1)
-                todo.append((index, attempt + 1))
+                backoff = self._note_retry(index, spec, attempt + 1, kind)
+                todo.append((index, attempt + 1, time.monotonic() + backoff))
             else:
-                failures[index] = kind
                 record = RunRecord.for_spec(spec, self.global_seed, experiment, version)
                 record.attempts = attempt + 1
                 record.error = f"failed after {attempt + 1} attempt(s): {kind}"
@@ -224,25 +341,33 @@ class RunEngine:
 
         try:
             while todo or active:
+                now = time.monotonic()
                 while todo and len(active) < self.jobs:
-                    index, attempt = todo.popleft()
+                    slot = next(
+                        (j for j, t in enumerate(todo) if t[2] <= now), None
+                    )
+                    if slot is None:
+                        break  # everything launchable is backing off
+                    index, attempt, _ = todo.pop(slot)
                     spec = specs[index]
                     seed = spec.derived_seed(self.global_seed)
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     proc = ctx.Process(
                         target=_worker_main,
-                        args=(child_conn, spec, seed, attempt),
+                        args=(child_conn, spec, seed, attempt, ckpt),
                         daemon=True,
                     )
                     proc.start()
                     child_conn.close()  # ours closes so worker exit yields EOF
-                    timeout = (
-                        spec.timeout_s if spec.timeout_s is not None else self.timeout_s
-                    )
+                    timeout = self._effective_timeout(spec)
                     deadline = time.monotonic() + timeout if timeout else None
                     active[parent_conn] = _Active(index, attempt, proc, deadline)
 
-                ready = mp_connection.wait(list(active), timeout=0.05)
+                if active:
+                    ready = mp_connection.wait(list(active), timeout=0.05)
+                else:
+                    time.sleep(0.02)  # all pending retries are backing off
+                    ready = []
                 for conn in ready:
                     state = active.pop(conn)
                     msg: Optional[Tuple] = None
@@ -262,9 +387,12 @@ class RunEngine:
                         record = RunRecord.for_spec(
                             spec, self.global_seed, experiment, version
                         )
+                        restores = msg[3] if len(msg) > 3 else 0
                         finish(
                             state.index,
-                            self._complete(record, msg[1], msg[2], state.attempt + 1),
+                            self._complete(
+                                record, msg[1], msg[2], state.attempt + 1, restores
+                            ),
                         )
                     else:
                         fail_or_retry(state.index, state.attempt, "exception", msg[1])
@@ -280,11 +408,7 @@ class RunEngine:
                     state.proc.kill()
                     state.proc.join(timeout=5.0)
                     conn.close()
-                    timeout = (
-                        specs[state.index].timeout_s
-                        if specs[state.index].timeout_s is not None
-                        else self.timeout_s
-                    )
+                    timeout = self._effective_timeout(specs[state.index])
                     fail_or_retry(
                         state.index, state.attempt, "timeout",
                         f"killed after {timeout:.1f}s",
@@ -298,24 +422,96 @@ class RunEngine:
     # ------------------------------------------------------------- helpers
     def _complete(
         self, record: RunRecord, measurements: Dict[str, Any],
-        wall_time_s: float, attempts: int,
+        wall_time_s: float, attempts: int, checkpoint_restores: int = 0,
     ) -> RunRecord:
         record.measurements = measurements
         record.wall_time_s = wall_time_s
         record.attempts = attempts
+        record.checkpoint_restores = checkpoint_restores
         record.events_executed = int(measurements.get("events_executed", 0))
         if wall_time_s > 0:
             record.events_per_sec = record.events_executed / wall_time_s
         return record
 
-    def _note(self, spec: RunSpec, kind: str, attempt: int, detail: str = "") -> None:
-        self.events.append(EngineEvent(spec.key, kind, attempt, detail))
+    def _note(
+        self, spec: RunSpec, kind: str, attempt: int,
+        detail: str = "", backoff_s: float = 0.0,
+    ) -> None:
+        event = EngineEvent(spec.key, kind, attempt, detail, backoff_s)
+        self.events.append(event)
+        if self._journal_path is not None:
+            append_jsonl(
+                self._journal_path,
+                {
+                    "kind": "event",
+                    "spec_key": event.spec_key,
+                    "event": event.kind,
+                    "attempt": event.attempt,
+                    "backoff_s": event.backoff_s,
+                },
+                durable=False,
+            )
 
     def _emit_progress(self, done: int, total: int, record: RunRecord) -> None:
         if self.progress is not None:
             self.progress(done, total, record)
 
     # ------------------------------------------------------------ artifacts
+    def _begin_artifacts(
+        self, experiment: str, specs: Sequence[RunSpec], version: str
+    ) -> None:
+        """Persist the sweep definition *before* running anything, so an
+        interrupted sweep can be reconstructed by ``repro resume``."""
+        if self.results_dir is None:
+            self._journal_path = None
+            return
+        out_dir = self.results_dir / experiment
+        out_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            out_dir / "sweep.json",
+            {
+                "kind": SWEEP_KIND,
+                "schema_version": SWEEP_SCHEMA_VERSION,
+                "experiment": experiment,
+                "global_seed": self.global_seed,
+                "jobs": self.jobs,
+                "timeout_s": self.timeout_s,
+                "retries": self.retries,
+                "checkpoint_sim_ns": self.checkpoint_sim_ns,
+                "checkpoint_wall_s": self.checkpoint_wall_s,
+                "specs": [s.to_json_dict() for s in specs],
+            },
+        )
+        self._journal_path = out_dir / "journal.jsonl"
+        append_jsonl(
+            self._journal_path,
+            {
+                "kind": "sweep_start",
+                "experiment": experiment,
+                "n_specs": len(specs),
+                "global_seed": self.global_seed,
+                "code_version": version,
+                "ts": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            },
+        )
+
+    def _journal(self, kind: str, record: RunRecord) -> None:
+        if self._journal_path is None:
+            return
+        append_jsonl(
+            self._journal_path,
+            {
+                "kind": kind,
+                "spec_key": record.spec_key,
+                "ok": record.ok,
+                "cached": record.cached,
+                "attempts": record.attempts,
+                "checkpoint_restores": record.checkpoint_restores,
+                "wall_time_s": round(record.wall_time_s, 4),
+            },
+            durable=False,
+        )
+
     def _write_artifacts(
         self, experiment: str, specs: Sequence[RunSpec], records: List[RunRecord]
     ) -> None:
@@ -325,8 +521,9 @@ class RunEngine:
         runs_dir = out_dir / "runs"
         runs_dir.mkdir(parents=True, exist_ok=True)
         for record in records:
-            path = runs_dir / f"{record.spec_key[:16]}.json"
-            path.write_text(json.dumps(record.to_json_dict(), indent=1))
+            atomic_write_json(
+                runs_dir / f"{record.spec_key[:16]}.json", record.to_json_dict()
+            )
         manifest = {
             "experiment": experiment,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -336,8 +533,16 @@ class RunEngine:
             "n_specs": len(specs),
             "cached": sum(1 for r in records if r.cached),
             "failed": sum(1 for r in records if not r.ok),
+            "quarantined": list(self.quarantined),
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
             "events": [
-                {"spec": e.spec_key[:16], "kind": e.kind, "attempt": e.attempt}
+                {
+                    "spec": e.spec_key[:16],
+                    "kind": e.kind,
+                    "attempt": e.attempt,
+                    "backoff_s": e.backoff_s,
+                }
                 for e in self.events
             ],
             "runs": [
@@ -348,13 +553,26 @@ class RunEngine:
                     "tags": r.tags,
                     "ok": r.ok,
                     "cached": r.cached,
+                    "attempts": r.attempts,
+                    "retries": r.retries,
+                    "checkpoint_restores": r.checkpoint_restores,
                     "wall_time_s": round(r.wall_time_s, 4),
                     "events_per_sec": round(r.events_per_sec, 1),
                 }
                 for r in records
             ],
         }
-        (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=1))
+        atomic_write_json(out_dir / "manifest.json", manifest)
+        if self._journal_path is not None:
+            append_jsonl(
+                self._journal_path,
+                {
+                    "kind": "sweep_end",
+                    "n_specs": len(specs),
+                    "failed": sum(1 for r in records if not r.ok),
+                    "quarantined": len(self.quarantined),
+                },
+            )
 
 
 def run_specs(

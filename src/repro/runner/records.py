@@ -110,6 +110,10 @@ class RunRecord:
     attempts: int = 1
     cached: bool = False
     error: Optional[str] = None
+    timeout_s: Optional[float] = None
+    retries: List[Dict[str, Any]] = field(default_factory=list)
+    checkpoint_restores: int = 0
+    quarantined: bool = False
 
     @property
     def ok(self) -> bool:

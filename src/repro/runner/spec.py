@@ -91,8 +91,11 @@ class RunSpec:
             factory=factory,
             params=canonical_params(params),
             seed=seed,
-            warmup_ns=warmup_ns,
-            measure_ns=measure_ns,
+            # windows enter the content key via json.dumps, where 100000
+            # and 100000.0 serialize differently — normalize to float so
+            # a sweep.json round trip cannot shift a spec's key
+            warmup_ns=float(warmup_ns),
+            measure_ns=float(measure_ns),
             tags=tuple(str(t) for t in tags),
             timeout_s=timeout_s,
         )
@@ -103,7 +106,35 @@ class RunSpec:
         return {k: _thaw(v) for k, v in self.params}
 
     def with_windows(self, warmup_ns: float, measure_ns: float) -> "RunSpec":
-        return replace(self, warmup_ns=warmup_ns, measure_ns=measure_ns)
+        return replace(
+            self, warmup_ns=float(warmup_ns), measure_ns=float(measure_ns)
+        )
+
+    # ------------------------------------------------------------- JSON IO
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Everything needed to rebuild this spec (for ``sweep.json``)."""
+        return {
+            "factory": self.factory,
+            "params": self.params_dict(),
+            "seed": self.seed,
+            "warmup_ns": self.warmup_ns,
+            "measure_ns": self.measure_ns,
+            "tags": list(self.tags),
+            "timeout_s": self.timeout_s,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Inverse of :meth:`to_json_dict`; key-stable round trip."""
+        return cls.make(
+            data["factory"],
+            data.get("params") or None,
+            seed=int(data.get("seed", 0)),
+            warmup_ns=float(data.get("warmup_ns", 2_000_000.0)),
+            measure_ns=float(data.get("measure_ns", 8_000_000.0)),
+            tags=tuple(data.get("tags", ())),
+            timeout_s=data.get("timeout_s"),
+        )
 
     # ---------------------------------------------------------------- keys
     @property

@@ -69,6 +69,43 @@ class Simulator:
         #: optional :class:`repro.perf.selfprof.SelfProfiler`; when None
         #: (the default) the engine runs its original uninstrumented loop
         self.profiler: Optional[Any] = None
+        #: optional :class:`repro.resilience.checkpoint.Checkpointer`;
+        #: when None (the default) the original loop runs untouched, so
+        #: the checkpoint-off path is bit-identical by construction
+        self.checkpointer: Optional[Any] = None
+
+    # ------------------------------------------------------------ persistence
+    def __getstate__(self) -> dict:
+        """Checkpoints snapshot the simulator mid-``run()``; a restored
+        instance must be re-enterable, so the running flag is cleared."""
+        state = self.__dict__.copy()
+        state["_running"] = False
+        return state
+
+    def checkpoint_every(
+        self,
+        checkpointer: Optional[Any],
+        *,
+        sim_ns: Optional[float] = None,
+        wall_s: Optional[float] = None,
+    ) -> None:
+        """Attach (or with ``None`` detach) a periodic checkpointer.
+
+        ``sim_ns`` / ``wall_s`` override the checkpointer's own snapshot
+        intervals when given.  Checkpointing and self-profiling both
+        replace the run loop with an instrumented twin, so they are
+        mutually exclusive.
+        """
+        if checkpointer is not None and self.profiler is not None:
+            raise SimulationError(
+                "checkpointing and self-profiling are mutually exclusive"
+            )
+        if checkpointer is not None:
+            if sim_ns is not None:
+                checkpointer.every_sim_ns = sim_ns
+            if wall_s is not None:
+                checkpointer.every_wall_s = wall_s
+        self.checkpointer = checkpointer
 
     # ------------------------------------------------------------------ time
     @property
@@ -137,6 +174,9 @@ class Simulator:
             if self.profiler is not None:
                 self._run_profiled(until_ns, self.profiler)
                 return
+            if self.checkpointer is not None:
+                self._run_checkpointed(until_ns, self.checkpointer)
+                return
             heap = self._heap
             while heap:
                 ev = heap[0]
@@ -186,6 +226,32 @@ class Simulator:
                 self._now = until_ns
         finally:
             prof.run_wall_s += perf_counter() - loop_started
+
+    def _run_checkpointed(self, until_ns: Optional[float], ckpt: Any) -> None:
+        """The run loop's checkpointing twin: identical event semantics,
+        plus a periodic snapshot of the owning object graph *between*
+        events (never mid-callback, so every snapshot is consistent).
+
+        Snapshots only read state — pickling mutates nothing — so
+        measurements are bit-identical with or without checkpointing.
+        """
+        ckpt.begin(self)
+        heap = self._heap
+        while heap:
+            ev = heap[0]
+            if until_ns is not None and ev.time > until_ns:
+                break
+            heapq.heappop(heap)
+            if ev.cancelled:
+                self._cancelled -= 1
+                continue
+            self._now = ev.time
+            self.events_executed += 1
+            ev.fn(*ev.args)
+            if ckpt.due(self._now):
+                ckpt.save(self)
+        if until_ns is not None and self._now < until_ns:
+            self._now = until_ns
 
     def step(self) -> bool:
         """Execute a single event.  Returns False when no events remain."""

@@ -184,12 +184,18 @@ class Scenario:
                 self.sim,
                 self.telemetry,
                 proto,
-                lambda: self.wire.packets_carried,
+                self.wire.sent_packet_count,
                 period_ns=self.fault_plan.watchdog_period_ns,
             )
 
         self._senders: Dict[FlowKey, object] = {}
         self._client_count = 0
+        # run-phase state machine ("init" -> "warmup" -> "measure" -> "done"),
+        # carried inside checkpoints so a restored run knows where to resume
+        self._run_phase = "init"
+        self._warmup_ns = 0.0
+        self._measure_ns = 0.0
+        self._ckpt_slot = None
 
     # ------------------------------------------------------------- obs wiring
     def _attach_obs(self, cfg: ObsConfig) -> None:
@@ -297,7 +303,34 @@ class Scenario:
         warmup_ns: float = 2 * MSEC,
         measure_ns: float = 10 * MSEC,
     ) -> ScenarioResult:
-        """Start all senders, warm up, measure, and summarize."""
+        """Start all senders, warm up, measure, and summarize.
+
+        When a :mod:`repro.resilience` checkpoint scope is active (the
+        engine arms one around every worker), the run periodically
+        snapshots itself and — if a usable snapshot from an interrupted
+        earlier attempt exists — resumes from it instead of starting
+        over, with bit-identical results either way.  Without a scope
+        this claims nothing and runs the historical path untouched.
+        """
+        from repro.resilience.checkpoint import claim_slot, current_context
+
+        slot = claim_slot()
+        if slot is not None:
+            restored = slot.try_restore()
+            if isinstance(restored, Scenario) and restored._run_phase != "init":
+                ctx = current_context()
+                if ctx is not None:
+                    ctx.note_restore()
+                return restored._finish_run()
+            ckpt = slot.checkpointer_for(self)
+            if ckpt is not None:
+                self.sim.checkpoint_every(ckpt)
+            self._ckpt_slot = slot
+        self._begin_run(warmup_ns, measure_ns)
+        return self._finish_run()
+
+    def _begin_run(self, warmup_ns: float, measure_ns: float) -> None:
+        """Arm faults/watchdog/journeys and launch the senders."""
         if not self._senders:
             raise RuntimeError("no senders configured")
         if self.faults is not None:
@@ -311,7 +344,12 @@ class Scenario:
         for i, sender in enumerate(self._senders.values()):
             # small stagger so clients do not start in lockstep
             self.sim.call_in(i * 1_000.0, sender.start)
-        self.sim.run(until_ns=warmup_ns)
+        self._warmup_ns = warmup_ns
+        self._measure_ns = measure_ns
+        self._run_phase = "warmup"
+
+    def _begin_measure_window(self) -> None:
+        """Warmup over: open the measurement window."""
         self.telemetry.start_window()
         self.cpus.start_window()
         if self.obs_config is not None:
@@ -327,8 +365,22 @@ class Scenario:
                 interval_ns=self.obs_config.interval_ns,
             )
             self.intervals.arm()
-        self.sim.run(until_ns=warmup_ns + measure_ns)
-        return self._collect(measure_ns)
+        self._run_phase = "measure"
+
+    def _finish_run(self) -> ScenarioResult:
+        """Drive the remaining phases (idempotent after a restore)."""
+        if self._run_phase == "warmup":
+            self.sim.run(until_ns=self._warmup_ns)
+            self._begin_measure_window()
+        if self._run_phase == "measure":
+            self.sim.run(until_ns=self._warmup_ns + self._measure_ns)
+            self._run_phase = "done"
+        slot = self._ckpt_slot
+        if slot is not None:
+            self._ckpt_slot = None
+            self.sim.checkpoint_every(None)
+            slot.complete()
+        return self._collect(self._measure_ns)
 
     def _collect(self, window_ns: float) -> ScenarioResult:
         bytes_counter = f"{self.proto}_delivered_bytes"
