@@ -8,6 +8,16 @@ micro-flows finish out of order (paper §III-B, Fig. 7).
 
 Busy time is accounted per tag, so experiments can report utilization
 breakdowns per processing stage.
+
+Hot-path notes: work items submitted via the ``*_call`` shorthands are
+drawn from a per-core free list and recycled on completion (items passed
+to :meth:`Core.submit` directly are caller-owned and never recycled);
+completions schedule through the engine's pooled no-handle
+:meth:`~repro.sim.engine.Simulator._sched`.  Jitter normals stay scalar
+draws: topologies may share one named RNG stream across cores (the
+client machines reuse ``core0.jitter``/``core1.jitter``), so per-core
+batching would reorder the interleaved draw sequence and change the
+timeline.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ from repro.sim.engine import Simulator
 class WorkItem:
     """One unit of CPU work: charge ``cost_ns`` then invoke ``fn(*args)``."""
 
-    __slots__ = ("tag", "cost_ns", "fn", "args")
+    __slots__ = ("tag", "cost_ns", "fn", "args", "pooled")
 
     def __init__(self, tag: str, cost_ns: float, fn: Callable[..., Any], *args: Any):
         if cost_ns < 0:
@@ -33,6 +43,8 @@ class WorkItem:
         self.cost_ns = cost_ns
         self.fn = fn
         self.args = args
+        #: free-list items recycle on completion; caller-made ones never do
+        self.pooled = False
 
 
 class Core:
@@ -65,6 +77,8 @@ class Core:
         self.busy_ns: Dict[str, float] = {}
         self.items_executed = 0
         self._queue_len_max = 0
+        #: recycled WorkItems for the *_call submission paths
+        self._item_pool: list = []
         #: optional FlightRecorder — None (the default) disables all probes
         self.obs = None
         #: (start_ns, end_ns) of the work item currently completing; only
@@ -74,15 +88,34 @@ class Core:
     # --------------------------------------------------------------- submit
     def submit(self, item: WorkItem) -> None:
         """Enqueue a work item; starts immediately if the core is idle."""
-        self._queue.append(item)
-        if len(self._queue) > self._queue_len_max:
-            self._queue_len_max = len(self._queue)
+        q = self._queue
+        q.append(item)
+        if len(q) > self._queue_len_max:
+            self._queue_len_max = len(q)
         if not self._busy:
             self._start_next()
 
+    def _make_item(self, tag: str, cost_ns: float, fn: Callable[..., Any], args: tuple) -> WorkItem:
+        pool = self._item_pool
+        if pool:
+            item = pool.pop()
+            item.tag = tag
+            item.cost_ns = cost_ns
+            item.fn = fn
+            item.args = args
+            return item
+        item = WorkItem(tag, cost_ns, fn, *args)
+        item.pooled = True
+        return item
+
     def submit_call(self, tag: str, cost_ns: float, fn: Callable[..., Any], *args: Any) -> None:
-        """Shorthand for ``submit(WorkItem(tag, cost_ns, fn, *args))``."""
-        self.submit(WorkItem(tag, cost_ns, fn, *args))
+        """Pooled shorthand for ``submit(WorkItem(tag, cost_ns, fn, *args))``."""
+        q = self._queue
+        q.append(self._make_item(tag, cost_ns, fn, args))
+        if len(q) > self._queue_len_max:
+            self._queue_len_max = len(q)
+        if not self._busy:
+            self._start_next()
 
     def submit_front(self, item: WorkItem) -> None:
         """Enqueue at the *head* of the run queue (run-to-completion
@@ -97,8 +130,10 @@ class Core:
             self._start_next()
 
     def submit_front_call(self, tag: str, cost_ns: float, fn: Callable[..., Any], *args: Any) -> None:
-        """Shorthand for ``submit_front(WorkItem(tag, cost_ns, fn, *args))``."""
-        self.submit_front(WorkItem(tag, cost_ns, fn, *args))
+        """Pooled shorthand for ``submit_front(WorkItem(tag, cost_ns, fn, *args))``."""
+        self._queue.appendleft(self._make_item(tag, cost_ns, fn, args))
+        if not self._busy:
+            self._start_next()
 
     # ------------------------------------------------------------ execution
     def _jitter(self) -> float:
@@ -108,22 +143,41 @@ class Core:
 
     def _start_next(self) -> None:
         item = self._queue.popleft()
-        duration = item.cost_ns / self.speed * self._jitter()
+        if self.jitter_sigma == 0.0:
+            duration = item.cost_ns / self.speed
+        else:
+            duration = item.cost_ns / self.speed * self._jitter()
         self._busy = True
-        self.sim.call_in(duration, self._complete, item, duration)
+        sim = self.sim
+        sim._sched(sim._now + duration, self._complete, (item, duration))
 
     def _complete(self, item: WorkItem, duration: float) -> None:
-        self.busy_ns[item.tag] = self.busy_ns.get(item.tag, 0.0) + duration
+        tag = item.tag
+        busy = self.busy_ns
+        busy[tag] = busy.get(tag, 0.0) + duration
         self.items_executed += 1
-        obs = self.obs
-        if obs is not None:
-            start = self.sim.now - duration
-            self.last_span = (start, self.sim.now)
-            obs.span(item.tag, start, self.sim.now, core=self.id)
-        item.fn(*item.args)
+        if self.obs is not None:
+            now = self.sim._now
+            start = now - duration
+            self.last_span = (start, now)
+            self.obs.span(tag, start, now, core=self.id)
+        fn = item.fn
+        args = item.args
+        if item.pooled:
+            item.fn = None
+            item.args = None
+            self._item_pool.append(item)
+        fn(*args)
         # the completion may have submitted more work to this core
-        if self._queue:
-            self._start_next()
+        q = self._queue
+        if q:
+            nxt = q.popleft()
+            if self.jitter_sigma == 0.0:
+                duration = nxt.cost_ns / self.speed
+            else:
+                duration = nxt.cost_ns / self.speed * self._jitter()
+            sim = self.sim
+            sim._sched(sim._now + duration, self._complete, (nxt, duration))
         else:
             self._busy = False
 

@@ -41,6 +41,9 @@ class Softirq:
         self.name = name
         self.handler = handler
         self.entry_cost_ns = entry_cost_ns
+        # hot-path work-item tags, built once instead of per raise
+        self._run_tag = f"softirq:{name}"
+        self._ipi_tag = f"ipi:{name}"
         #: fault injection: extra latency before a remote raise lands on
         #: its target core (0 = IPIs deliver instantly, the default)
         self.ipi_delay_ns = 0.0
@@ -61,7 +64,7 @@ class Softirq:
         self.raises += 1
         if self.obs is not None:
             self.obs.instant("softirq_raise", core=core.id, softirq=self.name)
-        core.submit_call(f"softirq:{self.name}", self.entry_cost_ns, self._run, core)
+        core.submit_call(self._run_tag, self.entry_cost_ns, self._run, core)
 
     def raise_on_remote(self, from_core: Optional[Core], to_core: Core) -> None:
         """Arm the softirq on ``to_core`` via IPI, charging the sender.
@@ -78,9 +81,9 @@ class Softirq:
                 self.obs.instant(
                     "ipi_send", core=from_core.id, target=to_core.id, softirq=self.name
                 )
-            from_core.submit_call(f"ipi:{self.name}", IPI_COST_NS, _noop)
+            from_core.submit_call(self._ipi_tag, IPI_COST_NS, _noop)
         if remote and self.ipi_delay_ns > 0.0:
-            to_core.sim.call_in(self.ipi_delay_ns, self.raise_on, to_core)
+            to_core.sim.sched_in(self.ipi_delay_ns, self.raise_on, to_core)
         else:
             self.raise_on(to_core)
 

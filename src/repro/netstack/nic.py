@@ -26,7 +26,7 @@ from repro.cpu.core import Core
 from repro.cpu.softirq import Softirq
 from repro.metrics.telemetry import Telemetry
 from repro.netstack.costs import CostModel
-from repro.netstack.packet import Packet, Skb
+from repro.netstack.packet import Packet
 from repro.netstack.pipeline import Pipeline
 from repro.sim.engine import Simulator
 from repro.sim.queues import RingBuffer
@@ -43,6 +43,9 @@ class _RxQueue:
         )
         self.irq_enabled = True
         self.napi = Softirq(f"{nic.name}.napi{index}", self._poll)
+        # hot-path work-item tags, built once instead of per submission
+        self._irq_tag = f"irq:{nic.name}"
+        self._poll_tag = f"driver_poll:{nic.name}"
 
     def receive(self, pkt: Packet) -> None:
         obs = self.nic.obs
@@ -67,14 +70,14 @@ class _RxQueue:
             if delay > 0.0:
                 # fault injection: the interrupt is held back (moderation
                 # gone wrong / a hypervisor absorbing the vector)
-                self.nic.sim.call_in(delay, self._fire_irq)
+                self.nic.sim.sched_in(delay, self._fire_irq)
             else:
                 self._fire_irq()
 
     def _fire_irq(self) -> None:
         # The IRQ top half runs on the affine core and raises NAPI.
         self.core.submit_call(
-            f"irq:{self.nic.name}",
+            self._irq_tag,
             self.nic.costs.irq_cost_ns,
             self.napi.raise_on,
             self.core,
@@ -84,17 +87,17 @@ class _RxQueue:
         batch = self.ring.pop_up_to(self.nic.costs.napi_budget)
         if batch:
             cost = self.nic.costs.driver_poll_per_pkt_ns * len(batch)
-            core.submit_call(f"driver_poll:{self.nic.name}", cost, self._emit, batch, core)
+            core.submit_call(self._poll_tag, cost, self._emit, batch, core)
         if not self.ring.empty:
             return True  # NAPI re-polls while backlogged
         self.irq_enabled = True
         return False
 
     def _emit(self, batch: List[Packet], core: Core) -> None:
+        # one poll work item drains the whole descriptor batch into the
+        # datapath (pooled skbs, per-batch lookups hoisted by the pipeline)
         pipeline = self.nic.pipeline
-        head = pipeline.head
-        for pkt in batch:
-            pipeline.inject(head, Skb([pkt]), core)
+        pipeline.inject_batch(pipeline.head, batch, core)
         # Frames may have landed while the poll work executed; NAPI keeps
         # polling rather than waiting for a fresh IRQ.
         if not self.ring.empty:
@@ -202,7 +205,7 @@ class Wire:
             for frame, extra_ns in fates:
                 # duplicates ride the same serialization slot: an in-network
                 # copy does not consume sender line time twice
-                self.sim.call_at(base + extra_ns, self.dst.receive, frame)
+                self.sim.sched_at(base + extra_ns, self.dst.receive, frame)
             return
         self._transmit(pkt, 0.0)
 
@@ -219,4 +222,4 @@ class Wire:
 
     def _transmit(self, pkt: Packet, extra_ns: float) -> None:
         arrival = self._occupy(pkt) + extra_ns
-        self.sim.call_at(arrival, self.dst.receive, pkt)
+        self.sim.sched_at(arrival, self.dst.receive, pkt)

@@ -104,6 +104,12 @@ class Skb:
     MFLOW stores its micro-flow metadata here (``microflow_id`` and
     ``branch``), exactly as the real implementation stashes the ID in the
     skb (paper footnote 5).
+
+    Skbs on the receive datapath are pooled by the pipeline (see
+    :meth:`repro.netstack.pipeline.Pipeline.alloc_skb`): recycling
+    poisons the object (``packets = None``, ``gen`` bumped) so a stale
+    reference held across a recycle fails loudly instead of silently
+    aliasing another packet's buffer.
     """
 
     __slots__ = (
@@ -114,6 +120,7 @@ class Skb:
         "flow_serial",
         "alloc_ts",
         "trace_id",
+        "gen",
     )
 
     def __init__(self, packets: List[Packet]):
@@ -128,6 +135,8 @@ class Skb:
         # observability identity: assigned monotonically on first touch by
         # PathTracer / JourneyTracker (never id(skb) — ids are reused)
         self.trace_id: Optional[int] = None
+        #: recycle generation; bumped every time the pool reclaims this skb
+        self.gen: int = 0
 
     @property
     def segs(self) -> int:

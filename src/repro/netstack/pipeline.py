@@ -10,6 +10,17 @@ logic on completion, and forwards the outputs.
 This is where every scheme in the paper plugs in: vanilla/RSS/RPS/FALCON
 differ only in the ``core_for`` answer; MFLOW additionally inserts split
 and merge nodes into the graph (see :mod:`repro.core`).
+
+Hot-path notes: the steering decision is made exactly once per hop (the
+forwarding loop passes the chosen core straight into :meth:`_dispatch`);
+the :class:`~repro.netstack.stages.StageContext` handed to stages is a
+single reused instance (stages must read, not retain, it — every
+in-tree stage extracts what it needs); and datapath skbs come from a
+free list with poisoned recycling (:meth:`alloc_skb` /
+:meth:`recycle_skb`).  Interposing on :meth:`inject` (as
+:class:`~repro.sim.trace.PathTracer` does) still sees every hop: the
+forwarding loop detects an instance-attribute override and falls back to
+routing through it.
 """
 
 from __future__ import annotations
@@ -19,9 +30,9 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.cpu.core import Core
 from repro.metrics.telemetry import Telemetry
 from repro.netstack.costs import CostModel
-from repro.netstack.packet import Skb
+from repro.netstack.packet import Packet, Skb
 from repro.netstack.stages import Stage, StageContext
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimulationError, Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.steering.base import SteeringPolicy
@@ -72,9 +83,42 @@ class Pipeline:
         self.obs = None
         #: optional JourneyTracker for latency decomposition (None = off)
         self.journeys = None
+        #: reused execution context handed to every Stage.process call
+        self._ctx = StageContext(self, None, None)
+        #: recycled datapath skbs (see alloc_skb/recycle_skb)
+        self._skb_pool: List[Skb] = []
 
     def set_head(self, head: StageNode) -> None:
         self.head = head
+
+    # ------------------------------------------------------------- skb pool
+    def alloc_skb(self, pkt: Packet) -> Skb:
+        """A fresh 1-segment skb for ``pkt``, from the free list if possible."""
+        pool = self._skb_pool
+        if pool:
+            skb = pool.pop()
+            skb.packets = [pkt]
+            skb.flow = pkt.flow
+            skb.microflow_id = None
+            skb.branch = None
+            skb.flow_serial = None
+            skb.alloc_ts = 0.0
+            skb.trace_id = None
+            return skb
+        return Skb([pkt])
+
+    def recycle_skb(self, skb: Skb) -> None:
+        """Return a dead skb to the free list, poisoned.
+
+        Only call at points where no other component can still hold the
+        skb: terminal delivery stages, GRO merge absorption, and backlog
+        drops.  ``packets`` is cleared and the generation bumped so any
+        stale reference re-entering the datapath raises instead of
+        aliasing whatever packet reuses the object.
+        """
+        skb.packets = None
+        skb.gen += 1
+        self._skb_pool.append(skb)
 
     # ------------------------------------------------------------- dispatch
     def inject(
@@ -96,6 +140,51 @@ class Pipeline:
             return
         stage = node.stage
         core = self.policy.core_for(stage.name, skb, from_core)
+        self._dispatch(node, stage, skb, core, from_core, front)
+
+    def inject_batch(
+        self,
+        node: Optional[StageNode],
+        packets: List[Packet],
+        from_core: Optional[Core],
+    ) -> None:
+        """Wrap each polled descriptor in a pooled skb and dispatch it.
+
+        The batched NAPI entry point: one driver-poll work item calls
+        this once for its whole descriptor batch, hoisting the per-batch
+        lookups out of the per-packet loop (the steering decision stays
+        per-skb — flows in one batch may land on different cores).
+        """
+        if node is None:
+            return
+        if "inject" in self.__dict__:
+            # an interposer (PathTracer) replaced inject: route through it
+            for pkt in packets:
+                self.inject(node, self.alloc_skb(pkt), from_core)
+            return
+        stage = node.stage
+        name = stage.name
+        core_for = self.policy.core_for
+        dispatch = self._dispatch
+        for pkt in packets:
+            skb = self.alloc_skb(pkt)
+            dispatch(node, stage, skb, core_for(name, skb, from_core), from_core, False)
+
+    def _dispatch(
+        self,
+        node: StageNode,
+        stage: Stage,
+        skb: Skb,
+        core: Core,
+        from_core: Optional[Core],
+        front: bool,
+    ) -> None:
+        """Charge ``stage`` for ``skb`` on the already-chosen ``core``."""
+        if skb.packets is None:
+            raise SimulationError(
+                f"recycled skb (generation {skb.gen}) re-entered the datapath "
+                f"at stage {stage.name!r}"
+            )
         cost = stage.cost(skb, self.costs)
         if from_core is not None and core.id != from_core.id:
             # Crossing cores costs both sides: the sender pays the steering
@@ -119,6 +208,7 @@ class Pipeline:
                 )
                 if self.journeys is not None:
                     self.journeys.on_drop(skb, stage.name)
+            self.recycle_skb(skb)
             return
         if self.journeys is not None:
             self.journeys.on_enqueue(skb, stage.name, core.id, self.sim.now)
@@ -133,24 +223,48 @@ class Pipeline:
             # the work item charging this stage just completed on `core`;
             # its measured span is the hop's (start, end)
             journeys.on_execute(skb, node.stage.name, *core.last_span)
-        ctx = StageContext(self, node, core)
+        ctx = self._ctx
+        ctx.node = node
+        ctx.core = core
         outputs = node.stage.process(skb, ctx)
         if not outputs or node.next is None:
             return
         nxt = node.next
+        if "inject" in self.__dict__:
+            # interposed inject (PathTracer): preserve the original
+            # two-pass routing so the tracer observes every hop
+            inject = self.inject
+            same = []
+            for out in outputs:
+                target = self.policy.core_for(nxt.stage.name, out, core)
+                if target.id == core.id:
+                    same.append(out)
+                else:
+                    inject(nxt, out, core)
+            for out in reversed(same):
+                inject(nxt, out, core, front=True)
+            return
+        nstage = nxt.stage
+        nname = nstage.name
+        core_for = self.policy.core_for
+        if len(outputs) == 1:
+            out = outputs[0]
+            target = core_for(nname, out, core)
+            self._dispatch(nxt, nstage, out, target, core, target.id == core.id)
+            return
         # Cross-core outputs go to their targets' FIFO queues in order;
         # same-core outputs become run-to-completion continuations, which
         # stack LIFO at the queue head, so they are submitted in reverse
         # to preserve packet order.
         same = []
         for out in outputs:
-            target = self.policy.core_for(nxt.stage.name, out, core)
+            target = core_for(nname, out, core)
             if target.id == core.id:
                 same.append(out)
             else:
-                self.inject(nxt, out, core)
+                self._dispatch(nxt, nstage, out, target, core, False)
         for out in reversed(same):
-            self.inject(nxt, out, core, front=True)
+            self._dispatch(nxt, nstage, out, core, core, True)
 
     # ------------------------------------------------------------ inspection
     def stage_names(self) -> List[str]:

@@ -127,6 +127,7 @@ class TcpDeliverStage(Stage):
                 tele.observe("tcp_msg_latency_ns", now - pkt.send_ts)
                 if self._on_message is not None:
                     self._on_message(skb.flow, pkt)
+        ctx.pipeline.recycle_skb(skb)
         return []
 
 
@@ -270,7 +271,7 @@ class TcpSender:
             if t <= now:
                 self.wire.send(pkt)
             else:
-                self.sim.call_at(t, self.wire.send, pkt)
+                self.sim.sched_at(t, self.wire.send, pkt)
             t += pkt.wire_bytes * gap_per_byte
         self._pace_next_ns = t
         self.messages_sent += batch
@@ -281,7 +282,7 @@ class TcpSender:
             # rate-limited mode (latency measurements below saturation);
             # the interval is measured from send start
             elapsed = self.sim.now - self._send_start_ns
-            self.sim.call_in(max(0.0, self.interval_ns - elapsed), self._unblock)
+            self.sim.sched_in(max(0.0, self.interval_ns - elapsed), self._unblock)
         else:
             self._sending = False
             self._pump()

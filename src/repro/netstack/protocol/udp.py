@@ -74,6 +74,7 @@ class UdpDeliverStage(Stage):
         now = ctx.sim.now
         for pkt in skb.packets:
             self._add_fragment(pkt, tele, now)
+        ctx.pipeline.recycle_skb(skb)
         return []
 
     def _add_fragment(self, pkt: Packet, tele: Telemetry, now: float) -> None:
@@ -194,6 +195,6 @@ class UdpSender:
             # so the configured message rate is met regardless of how long
             # the fragmentation work took
             elapsed = self.sim.now - self._send_start_ns
-            self.sim.call_in(max(0.0, self.interval_ns - elapsed), self._send_next)
+            self.sim.sched_in(max(0.0, self.interval_ns - elapsed), self._send_next)
         else:
             self._send_next()

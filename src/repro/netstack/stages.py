@@ -144,6 +144,8 @@ class GroStage(Stage):
         if held is not None:
             if held.can_merge(skb, cap):
                 held.merge(skb)
+                # the merged skb's packets now live in `held`; the husk is dead
+                ctx.pipeline.recycle_skb(skb)
                 self._last_touch[key] = ctx.sim.now
                 if held.segs >= cap or _ends_message(held):
                     # cap reached, or PSH at a message boundary: flush now
@@ -171,7 +173,7 @@ class GroStage(Stage):
         self._timer_armed[key] = True
         # the timer callback is a bound method (not a closure) so a live
         # event heap stays picklable for checkpoints
-        ctx.sim.call_in(
+        ctx.sim.sched_in(
             ctx.costs.gro_flush_timeout_ns,
             self._flush_check, key, ctx.pipeline, ctx.node, ctx.core,
         )
@@ -189,7 +191,7 @@ class GroStage(Stage):
             self._timer_armed.pop(key, None)
             pipeline.inject(node.next, self._take(key), core)
         else:
-            sim.call_in(
+            sim.sched_in(
                 max(timeout - idle, 1.0), self._flush_check, key, pipeline, node, core
             )
 

@@ -48,6 +48,9 @@ class SelfProfiler:
         "cancelled_skips",
         "compactions",
         "peak_heap",
+        "level_pushes",
+        "wheel_cascades",
+        "wheel_jumps",
         "events_executed",
         "run_wall_s",
         "callback_wall_s",
@@ -61,6 +64,12 @@ class SelfProfiler:
         self.cancelled_skips = 0
         self.compactions = 0
         self.peak_heap = 0
+        #: pushes per wheel level: [active heap, L0 slot, L1 slot, overflow]
+        self.level_pushes = [0, 0, 0, 0]
+        #: L1->L0 slot cascades (wheel window advanced one interval)
+        self.wheel_cascades = 0
+        #: whole-window jumps driven by the overflow heap's horizon
+        self.wheel_jumps = 0
         self.events_executed = 0
         #: total wall time inside Simulator.run() (includes loop overhead)
         self.run_wall_s = 0.0
@@ -72,10 +81,19 @@ class SelfProfiler:
         self.queue_stats: List[Dict[str, Any]] = []
 
     # ------------------------------------------------------------ heap hooks
-    def note_push(self, heap_len: int) -> None:
+    def note_push(self, heap_len: int, level: int = 0) -> None:
         self.heap_pushes += 1
+        self.level_pushes[level] += 1
         if heap_len > self.peak_heap:
             self.peak_heap = heap_len
+
+    def note_cascade(self, jumped: bool) -> None:
+        """One wheel-window advance: an L1 slot cascade, or (``jumped``)
+        a whole-window jump to the overflow heap's horizon."""
+        if jumped:
+            self.wheel_jumps += 1
+        else:
+            self.wheel_cascades += 1
 
     def note_compaction(self) -> None:
         self.compactions += 1
@@ -129,6 +147,14 @@ class SelfProfiler:
                 "cancelled_skips": self.cancelled_skips,
                 "compactions": self.compactions,
                 "peak_size": self.peak_heap,
+                "level_pushes": {
+                    "active": self.level_pushes[0],
+                    "l0": self.level_pushes[1],
+                    "l1": self.level_pushes[2],
+                    "overflow": self.level_pushes[3],
+                },
+                "cascades": self.wheel_cascades,
+                "window_jumps": self.wheel_jumps,
             },
             "cost_centers": self.top_centers(top_k),
             "n_cost_centers": len(self.centers),
@@ -146,6 +172,10 @@ class SelfProfiler:
             f"heap            : {self.heap_pushes} pushes, {self.heap_pops} pops, "
             f"{self.cancelled_skips} cancelled skips, {self.compactions} compactions, "
             f"peak {self.peak_heap}",
+            f"wheel           : pushes active/l0/l1/far "
+            f"{self.level_pushes[0]}/{self.level_pushes[1]}/"
+            f"{self.level_pushes[2]}/{self.level_pushes[3]}, "
+            f"{self.wheel_cascades} cascades, {self.wheel_jumps} window jumps",
             "",
             f"top {min(top_k, len(self.centers))} cost centers "
             f"(of {len(self.centers)}):",

@@ -61,11 +61,11 @@ class SimEvent:
         self._value = value
         waiters, self._waiters = self._waiters, []
         for cb in waiters:
-            self.sim.call_soon(cb, value)
+            self.sim.sched_soon(cb, value)
 
     def _subscribe(self, cb: Callable[[Any], None]) -> None:
         if self._triggered:
-            self.sim.call_soon(cb, self._value)
+            self.sim.sched_soon(cb, self._value)
         else:
             self._waiters.append(cb)
 
@@ -93,7 +93,7 @@ class Process:
         self._gen = gen
         self.done = SimEvent(sim)
         self._failed: Optional[BaseException] = None
-        sim.call_soon(self._resume, None)
+        sim.sched_soon(self._resume, None)
 
     @property
     def finished(self) -> bool:
@@ -114,7 +114,7 @@ class Process:
 
     def _wait_on(self, wait: Any) -> None:
         if isinstance(wait, Timeout):
-            self.sim.call_in(wait.delay_ns, self._resume, None)
+            self.sim.sched_in(wait.delay_ns, self._resume, None)
         elif isinstance(wait, SimEvent):
             wait._subscribe(self._resume)
         elif isinstance(wait, WaitEvent):

@@ -700,3 +700,82 @@ class TestArtifactWriteLint:
         assert self.FORBIDDEN.search("path.write_text(data)")
         assert not self.FORBIDDEN.search("json.dumps(obj)")
         assert not self.FORBIDDEN.search("atomic_write_text(path, data)")
+
+
+# ------------------------------------------------- wheel-populated snapshots
+class _WheelRecorder:
+    """Module-level so the pickled object graph can re-import it."""
+
+    def __init__(self):
+        self.log = []
+
+    def hit(self, label):
+        self.log.append(label)
+
+
+class TestWheelPopulatedKillResume:
+    """Engine-level kill/resume: a snapshot taken while the timer wheel
+    has entries on every level (active heap, L0, L1, overflow) plus a
+    primed event pool and a cancelled handle must restore and finish
+    exactly like an uninterrupted run."""
+
+    EXPECTED = ["warm", "mid", "l0", "l1", "pooled", "far"]
+
+    def _build(self):
+        sim = Simulator()
+        rec = _WheelRecorder()
+        sim.sched_in(10.0, rec.hit, "warm")          # fires early, primes pool
+        sim.call_at(900.0, rec.hit, "mid")
+        sim.call_at(5_000.0, rec.hit, "l0")
+        sim.call_at(1_000_000.0, rec.hit, "l1")
+        sim.sched_in(3_000_000.0, rec.hit, "pooled")
+        sim.call_at(200_000_000.0, rec.hit, "far")   # beyond the ~67 ms horizon
+        dead = sim.call_at(7_500.0, rec.hit, "dead")
+        dead.cancel()
+        return sim, rec
+
+    def test_golden_uninterrupted(self):
+        sim, rec = self._build()
+        sim.run()
+        assert rec.log == self.EXPECTED
+
+    def test_kill_after_save_then_resume_is_identical(self, tmp_path, monkeypatch):
+        sim, rec = self._build()
+        path = tmp_path / "wheel.ckpt"
+        ckpt = Checkpointer(path, root={"sim": sim, "rec": rec},
+                            every_sim_ns=500.0)
+        sim.checkpoint_every(ckpt)
+        orig = _kill_after_first_save(monkeypatch)
+        with pytest.raises(KilledMidRun):
+            sim.run()
+        _restore_save(monkeypatch, orig)
+        # the kill landed after "warm" and "mid" but with L0/L1/overflow
+        # entries, the pool, and the cancelled handle all still on the wheel
+        assert rec.log == ["warm", "mid"]
+
+        header, root = load_checkpoint(path)
+        rsim, rrec = root["sim"], root["rec"]
+        assert header["sim_ns"] == rsim.now
+        assert rrec.log == ["warm", "mid"]
+        assert rsim.pending == sim.pending
+        assert rsim.live_pending == sim.live_pending
+        assert len(rsim._pool) == len(sim._pool)
+        rsim.checkpoint_every(None)
+        rsim.run()
+        assert rrec.log == self.EXPECTED
+        assert rsim.pending == 0 and rsim.live_pending == 0
+
+    def test_snapshot_mid_run_does_not_perturb(self, tmp_path):
+        """Checkpointing on (no kill) fires the same sequence at the same
+        times as the golden run."""
+        golden_sim, golden_rec = self._build()
+        golden_sim.run()
+        sim, rec = self._build()
+        ckpt = Checkpointer(tmp_path / "w.ckpt", root={"sim": sim, "rec": rec},
+                            every_sim_ns=500.0)
+        sim.checkpoint_every(ckpt)
+        sim.run()
+        assert ckpt.saves >= 1
+        assert rec.log == golden_rec.log == self.EXPECTED
+        assert sim.now == golden_sim.now
+        assert sim.events_executed == golden_sim.events_executed
