@@ -8,6 +8,7 @@
     python -m repro memcached  --system mflow --clients 10
     python -m repro compare    --proto tcp --size 65536
     python -m repro trace      --system mflow --perfetto out.json --decompose
+    python -m repro migrate    --system mflow --plan default
     python -m repro faults     show loss-burst
     python -m repro ceilings   --proto udp
     python -m repro prof       --system mflow --top 15
@@ -41,6 +42,7 @@ from typing import List, Optional
 from repro.analysis.bottleneck import BottleneckModel
 from repro.analysis.charts import bar_chart
 from repro.faults.plan import PLANS
+from repro.migration.plan import PLANS as MIGRATION_PLANS
 from repro.netstack.costs import DEFAULT_COSTS
 from repro.sim.units import MSEC
 from repro.workloads.memcached import run_memcached
@@ -58,6 +60,14 @@ def _add_fault_plan(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--fault-plan", choices=sorted(PLANS), default=None, metavar="NAME",
         help="named fault-injection plan (see `repro faults list`)",
+    )
+
+
+def _add_migration_plan(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--migration-plan", choices=sorted(MIGRATION_PLANS), default=None,
+        metavar="NAME", dest="migration_plan",
+        help="named live-migration plan (see `repro migrate --list`)",
     )
 
 
@@ -107,7 +117,8 @@ def cmd_throughput(args) -> int:
     res = run_single_flow(
         args.system, args.proto, args.size, seed=args.seed,
         batch_size=args.batch, n_split_cores=args.split_cores,
-        faults=args.fault_plan, **_windows(args),
+        faults=args.fault_plan, migration=args.migration_plan,
+        **_windows(args),
     )
     if args.json:
         from repro.runner import scenario_result_to_dict
@@ -124,7 +135,84 @@ def cmd_throughput(args) -> int:
     if res.fault_plan:
         print(f"  fault plan: {res.fault_plan}")
         _print_fault_report(res)
+    if res.migration:
+        print(f"  migration plan: {res.migration['plan']['name']}")
+        _print_migration_report(res.migration)
     return 0
+
+
+def _print_migration_report(mig: dict, indent: str = "  ") -> None:
+    """The cutover timeline + robustness ledger, human-readably."""
+    timeline = [
+        ("drain", mig.get("drain_start_ns")),
+        ("freeze", mig.get("freeze_ns")),
+        ("restore", mig.get("restore_ns")),
+    ]
+    marks = "  ".join(
+        f"{name}@{t / 1e6:.3f}ms" for name, t in timeline if t is not None
+    )
+    print(f"{indent}timeline: {marks or '(cutover never fired)'}")
+    print(
+        f"{indent}blackout: {mig.get('blackout_ns', 0.0) / 1e3:.0f} us "
+        f"(snapshot {mig.get('snapshot_bytes', 0)} B, "
+        f"digest {mig.get('snapshot_digest', '')[:12] or '-'})"
+    )
+    print(
+        f"{indent}packets: buffered={mig.get('packets_buffered', 0)} "
+        f"dropped={mig.get('packets_dropped', 0)} "
+        f"replayed={mig.get('packets_replayed', 0)} "
+        f"gro_flushed={mig.get('gro_flushed_at_freeze', 0)}"
+    )
+    print(
+        f"{indent}flows: repointed={mig.get('flows_repointed', 0)} "
+        f"rerouted={mig.get('flows_rerouted', 0)} "
+        f"tcp_retx={mig.get('tcp_retransmit_segments', 0)} "
+        f"merge_stalls={mig.get('merge_skips_after_drain', 0)}"
+    )
+    recovery = mig.get("recovery_ns") or {}
+    if recovery:
+        worst = max(recovery.values())
+        print(
+            f"{indent}recovery: {len(recovery)} flows, "
+            f"slowest {worst / 1e3:.0f} us after restore"
+        )
+    drops = mig.get("connection_drops", 0)
+    verdict = "ride-through OK" if drops == 0 else "CONNECTIONS LOST"
+    print(f"{indent}connection drops: {drops}  ({verdict})")
+    if mig.get("unrecovered_flows"):
+        print(f"{indent}unrecovered: {', '.join(mig['unrecovered_flows'])}")
+
+
+def cmd_migrate(args) -> int:
+    """One live-migration cutover for one system, with the full ledger."""
+    if args.list:
+        width = max(len(name) for name in MIGRATION_PLANS)
+        for name in sorted(MIGRATION_PLANS):
+            print(f"{name:<{width}}  {MIGRATION_PLANS[name].describe()}")
+        return 0
+    res = run_single_flow(
+        args.system, args.proto, args.size, seed=args.seed,
+        faults=args.fault_plan, migration=args.plan, **_windows(args),
+    )
+    if args.json:
+        from repro.runner import scenario_result_to_dict
+
+        out = scenario_result_to_dict(res)
+        out.update(system=args.system, proto=args.proto, size=args.size)
+        print(json.dumps(out, indent=1))
+        return 0
+    print(
+        f"{args.system} {args.proto} {args.size}B under plan {args.plan!r}: "
+        f"{res.throughput_gbps:.2f} Gbps, {res.messages_delivered} msgs"
+    )
+    if res.migration is None:
+        print("  (plan is inert: no cutover was scheduled)")
+        return 0
+    _print_migration_report(res.migration)
+    if res.fault_plan:
+        print(f"  fault plan: {res.fault_plan}")
+        _print_fault_report(res)
+    return 1 if res.migration.get("connection_drops", 0) else 0
 
 
 def cmd_latency(args) -> int:
@@ -454,7 +542,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="emit the run record as JSON")
     _add_common(p)
     _add_fault_plan(p)
+    _add_migration_plan(p)
     p.set_defaults(fn=cmd_throughput)
+
+    p = sub.add_parser(
+        "migrate", help="live container migration mid-run (cutover ledger)"
+    )
+    overlay_systems = [s for s in ALL_SYSTEMS if s != "native"]
+    p.add_argument(
+        "--system", choices=overlay_systems, default="mflow",
+        help="overlay steering system to ride the cutover (native has no "
+             "overlay ingress, hence nothing to migrate behind)",
+    )
+    p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")
+    p.add_argument("--size", type=int, default=65536)
+    p.add_argument(
+        "--plan", choices=sorted(MIGRATION_PLANS), default="default",
+        metavar="NAME", help="named migration plan (--list to enumerate)",
+    )
+    p.add_argument(
+        "--list", action="store_true", help="list the named migration plans"
+    )
+    p.add_argument("--json", action="store_true", help="emit the run record as JSON")
+    _add_common(p)
+    _add_fault_plan(p)
+    p.set_defaults(fn=cmd_migrate)
 
     p = sub.add_parser("latency", help="latency at ~90%% of capacity")
     p.add_argument("--system", choices=ALL_SYSTEMS, default="mflow")

@@ -198,15 +198,17 @@ class MflowPolicy(SteeringPolicy):
         return [self.cpus[i] for i in dict.fromkeys(idxs)]
 
     # --------------------------------------------------- lifecycle / health
-    def retire_flow(self, flow: FlowKey) -> bool:
+    def retire_flow(self, flow: FlowKey, pipeline=None) -> bool:
         """Release everything held for ``flow``: its placement plan, the
-        pool-allocator load it claimed, and split/merge per-flow state."""
+        pool-allocator load it claimed, and split/merge per-flow state.
+        With a ``pipeline``, skbs parked at the merge point are recycled
+        back to the skb pool instead of stranded."""
         plan = self._flow_plans.pop(flow, None)
         for core, weight in self._flow_claims.pop(flow, ()):
             self._allocator.release(core, weight)
         self._quarantined.discard(flow)
         self.split_stage.retire_flow(flow)
-        self.merge_stage.retire_flow(flow)
+        self.merge_stage.retire_flow(flow, pipeline=pipeline)
         return plan is not None
 
     def quarantine_flow(self, flow: FlowKey) -> bool:

@@ -21,7 +21,7 @@ quantify how much the batch-based design saves.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List
+from typing import Deque, Dict, List, Optional
 
 from repro.netstack.costs import CostModel
 from repro.core.splitting import GLOBAL_KEY
@@ -141,12 +141,34 @@ class ReassemblyStage(Stage):
         """(flow, merge-state) pairs — read-only health introspection."""
         return self._flows.items()
 
-    def retire_flow(self, flow: FlowKey) -> None:
-        """Drop per-flow merge state (no-op in aggregate mode)."""
+    def retire_flow(self, flow: FlowKey, pipeline=None) -> None:
+        """Drop per-flow merge state (no-op in aggregate mode).
+
+        When a ``pipeline`` is given, skbs still parked in the flow's
+        branch queues are returned to the skb pool — retiring a flow (or
+        the container namespace it lives in) mid-run must not strand
+        pooled skbs.
+        """
         if not self.per_flow:
             return
-        self._flows.pop(flow, None)
+        st = self._flows.pop(flow, None)
         self._timer_armed.pop(flow, None)
+        if st is not None and pipeline is not None:
+            for q in st.queues:
+                while q:
+                    pipeline.recycle_skb(q.popleft())
+            st.parked = 0
+
+    def detach_flow(self, flow: FlowKey) -> Optional[_FlowMergeState]:
+        """Remove and return ``flow``'s live merge state (parked skbs ride
+        inside) — the migration freeze path.  The armed progress timer
+        finds the state gone and disarms itself."""
+        self._timer_armed.pop(flow, None)
+        return self._flows.pop(flow, None)
+
+    def attach_flow(self, flow: FlowKey, state: _FlowMergeState) -> None:
+        """Reinstall a detached merge state (the migration restore path)."""
+        self._flows[flow] = state
 
     def _advance(self, st: _FlowMergeState) -> None:
         st.inverted.discard(st.counter)

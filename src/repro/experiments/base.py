@@ -99,6 +99,7 @@ TAG_GROUPS: Dict[str, str] = {
     "ip_rcv": "protocol",
     "ip_outer": "vxlan_dev",
     "udp_outer": "vxlan_dev",
+    "lb": "steering",
     "vxlan": "vxlan_dev",
     "bridge": "veth_dev",
     "veth_xmit": "veth_dev",

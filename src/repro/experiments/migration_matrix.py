@@ -1,0 +1,156 @@
+"""Migration matrix — live-container-cutover ride-through per system.
+
+Runs every overlay steering system through a mid-measurement live
+migration (the ``default`` plan: drain at 2.5 ms, freeze, transfer,
+restore, replay) on the single-flow overlay TCP workload, under a small
+fault axis (clean wire, wire loss, reorder+jitter), and reports the
+robustness ledger: blackout duration, packets buffered vs. dropped vs.
+replayed, TCP retransmissions, per-flow recovery time, MFLOW merge
+stalls, and — the headline — connection drops, which must be zero for
+every system under the default plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.experiments.base import ExperimentTable, execute, windows
+from repro.faults.plan import FaultPlan
+from repro.migration.plan import PLANS, MigrationPlan
+from repro.netstack.costs import CostModel
+from repro.runner import RunEngine, RunRecord, RunSpec
+from repro.runner.factories import costs_to_overrides
+from repro.workloads.scenario import ScenarioResult
+
+EXPERIMENT = "migration"
+#: the five overlay steering systems (native has no overlay ingress to
+#: balance, hence nothing to migrate behind)
+SYSTEMS = ["vanilla", "rss", "rps", "falcon", "mflow"]
+PROTO = "tcp"
+SIZE = 65536
+
+#: the fault axis riding along with the cutover — ride-through must hold
+#: not just on a clean wire but under loss and reordering
+FAULTS: Dict[str, FaultPlan] = {
+    "clean": FaultPlan(name="clean"),
+    "loss": FaultPlan(name="migrate-loss", loss_rate=0.01),
+    "jitter": FaultPlan(
+        name="migrate-jitter",
+        reorder_rate=0.05,
+        reorder_delay_ns=30_000.0,
+        jitter_ns=1_000.0,
+    ),
+}
+
+
+@dataclass
+class MigrationResult:
+    matrix: ExperimentTable
+    raw: Dict[str, Dict[str, ScenarioResult]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        return self.matrix.table()
+
+    def result(self, fault: str, system: str) -> ScenarioResult:
+        return self.raw[fault][system]
+
+    def connection_drops(self, fault: str, system: str) -> int:
+        mig = self.raw[fault][system].migration or {}
+        return int(mig.get("connection_drops", 0))
+
+    def total_connection_drops(self) -> int:
+        return sum(
+            self.connection_drops(fault, system)
+            for fault in self.raw
+            for system in self.raw[fault]
+        )
+
+
+def specs(
+    quick: bool = False,
+    costs: Optional[CostModel] = None,
+    systems: Optional[List[str]] = None,
+    faults: Optional[Dict[str, FaultPlan]] = None,
+    plan: Optional[MigrationPlan] = None,
+) -> List[RunSpec]:
+    systems = systems if systems is not None else SYSTEMS
+    faults = faults if faults is not None else FAULTS
+    plan = plan if plan is not None else PLANS["default"]
+    win = windows(quick)
+    overrides = costs_to_overrides(costs)
+    out: List[RunSpec] = []
+    for fault_name, fplan in faults.items():
+        for system in systems:
+            params = {
+                "system": system,
+                "proto": PROTO,
+                "size": SIZE,
+                # the plan is always active here, so it always embeds
+                # (inert plans must stay absent from params — cache-key
+                # parity with pre-migration builds)
+                "migration": plan.to_dict(),
+            }
+            if fplan.active:
+                params["faults"] = fplan.to_dict()
+            if overrides:
+                params["cost_overrides"] = overrides
+            out.append(
+                RunSpec.make(
+                    "sockperf",
+                    params,
+                    warmup_ns=win["warmup_ns"],
+                    measure_ns=win["measure_ns"],
+                    tags=(EXPERIMENT, fault_name, system),
+                )
+            )
+    return out
+
+
+def reduce(records: List[RunRecord]) -> MigrationResult:
+    table = ExperimentTable(
+        f"Migration matrix: {PROTO} {SIZE}B mid-run cutover ride-through",
+        ["fault", "system", "gbps", "blackout_us", "buffered", "dropped",
+         "replayed", "retx", "conn_drops", "recovery_us", "merge_stalls"],
+    )
+    result = MigrationResult(matrix=table)
+    for rec in records:
+        fault, system = rec.tags[1], rec.tags[2]
+        result.raw.setdefault(fault, {})[system] = rec.scenario_result()
+    for fault in result.raw:
+        for system in result.raw[fault]:
+            res = result.raw[fault][system]
+            mig = res.migration or {}
+            recoveries = list((mig.get("recovery_ns") or {}).values())
+            table.add(
+                fault,
+                system,
+                res.throughput_gbps,
+                f"{mig.get('blackout_ns', 0.0) / 1_000.0:.0f}",
+                mig.get("packets_buffered", 0),
+                mig.get("packets_dropped", 0),
+                mig.get("packets_replayed", 0),
+                mig.get("tcp_retransmit_segments", 0),
+                mig.get("connection_drops", 0),
+                f"{max(recoveries) / 1_000.0:.0f}" if recoveries else "-",
+                mig.get("merge_skips_after_drain", 0),
+            )
+    table.notes.append(
+        "blackout_us = freeze-to-restore downtime (min_downtime + snapshot "
+        "transfer); recovery_us = slowest flow's restore-to-first-delivery "
+        "time; conn_drops must be 0 under the default (buffered) plan"
+    )
+    return result
+
+
+def run(
+    costs: Optional[CostModel] = None,
+    quick: bool = False,
+    systems: Optional[List[str]] = None,
+    engine: Optional[RunEngine] = None,
+) -> MigrationResult:
+    return reduce(execute(EXPERIMENT, specs(quick, costs, systems), engine))
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(run(quick=True).table())

@@ -26,6 +26,7 @@ from typing import Callable, Dict
 
 from repro.experiments import (
     chaos_matrix,
+    migration_matrix,
     fig4_motivation,
     fig7_batch_size,
     fig8_throughput,
@@ -51,6 +52,7 @@ MODULES = {
     "sensitivity": sensitivity,
     "extensions": extensions,
     "chaos": chaos_matrix,
+    "migration": migration_matrix,
 }
 
 #: name -> one-call library entry point (kept for tests and interactive use)

@@ -64,6 +64,9 @@ class FlowHealthMonitor:
         self._skips_at_transition: Dict[FlowKey, int] = {}
         self._clean_streak: Dict[FlowKey, int] = {}
         self.events: List[dict] = []
+        #: per-flow transition tallies (run-record summary; the ``events``
+        #: list has the full timeline, this is the cheap-to-scan rollup)
+        self.counts: Dict[str, Dict[str, int]] = {}
         self.checks = 0
         #: optional FlightRecorder — None (the default) disables all probes
         self.obs = None
@@ -95,6 +98,7 @@ class FlowHealthMonitor:
         self._skips_at_transition[flow] = state.skips
         self._clean_streak[flow] = 0
         self.telemetry.count("mflow_degraded")
+        self._bump(flow, "quarantined")
         self.events.append(
             {
                 "t_ns": self.sim.now,
@@ -117,6 +121,7 @@ class FlowHealthMonitor:
         self._skips_at_transition[flow] = state.skips
         self._clean_streak[flow] = 0
         self.telemetry.count("mflow_readmitted")
+        self._bump(flow, "readmitted")
         self.events.append(
             {
                 "t_ns": self.sim.now,
@@ -126,6 +131,12 @@ class FlowHealthMonitor:
         )
         if self.obs is not None:
             self.obs.instant("mflow_readmitted", flow=flow_label(flow))
+
+    def _bump(self, flow: FlowKey, what: str) -> None:
+        per_flow = self.counts.setdefault(
+            flow_label(flow), {"quarantined": 0, "readmitted": 0}
+        )
+        per_flow[what] += 1
 
     def check_once(self) -> None:
         """One health pass over every flow the merge has seen."""

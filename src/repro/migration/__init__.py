@@ -1,0 +1,24 @@
+"""Live container migration as a first-class chaos scenario.
+
+``plan`` declares a cutover (drain window, transfer model, balancer
+geometry) with the same inert-resolution discipline as fault plans;
+``controller`` executes it as simulator events against a scenario.  The
+consistent-hash ingress balancer the cutover pivots on lives in
+:mod:`repro.overlay.balancer`.
+"""
+
+from repro.migration.controller import MigrationController
+from repro.migration.plan import (
+    PLANS,
+    MigrationPlan,
+    MigrationPlanLike,
+    resolve_migration_plan,
+)
+
+__all__ = [
+    "MigrationController",
+    "MigrationPlan",
+    "MigrationPlanLike",
+    "PLANS",
+    "resolve_migration_plan",
+]

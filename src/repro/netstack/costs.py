@@ -54,6 +54,7 @@ class CostModel:
     udp_rcv_outer_ns: float = 90.0          # VxLAN port demux on the outer path
     vxlan_decap_ns: float = 900.0           # the heavyweight overlay device
     bridge_fwd_ns: float = 80.0
+    lb_hash_ns: float = 150.0               # consistent-hash ingress balancer
     veth_xmit_ns: float = 60.0
     veth_rx_ns: float = 60.0                # netif_rx + backlog entry on the veth
     ip_rcv_inner_ns: float = 80.0

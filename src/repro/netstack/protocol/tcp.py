@@ -63,6 +63,30 @@ class TcpReceiverStage(Stage):
             st = self._flows[flow] = _TcpFlowState()
         return st
 
+    def iter_flows(self):
+        """(flow, state) pairs — read-only socket introspection."""
+        return self._flows.items()
+
+    def detach_flow(self, flow: FlowKey) -> Optional[_TcpFlowState]:
+        """Remove and return ``flow``'s live socket state (``rcv_nxt`` and
+        the OOO queue) — the migration freeze path."""
+        return self._flows.pop(flow, None)
+
+    def attach_flow(self, flow: FlowKey, state: _TcpFlowState) -> None:
+        """Reinstall a detached socket state (the migration restore path)."""
+        self._flows[flow] = state
+
+    def release_flow(self, flow: FlowKey, pipeline) -> int:
+        """Drop ``flow``'s state, recycling parked OOO skbs to the pool."""
+        st = self._flows.pop(flow, None)
+        if st is None:
+            return 0
+        released = len(st.ooo)
+        for skb in st.ooo.values():
+            pipeline.recycle_skb(skb)
+        st.ooo.clear()
+        return released
+
     def cost(self, skb: Skb, costs: CostModel) -> float:
         return costs.tcp_rcv_ns
 
@@ -90,6 +114,8 @@ class TcpReceiverStage(Stage):
         else:
             st.dup_segments += skb.segs
             ctx.telemetry.count("tcp_dup_segments", skb.segs)
+            # the duplicate is dead here — return its pooled skb
+            ctx.pipeline.recycle_skb(skb)
         if out and self._ack_fn is not None:
             self._ack_fn(skb.flow, st.rcv_nxt)
         return out
@@ -152,9 +178,12 @@ class TcpSender:
         window_bytes: Optional[int] = None,
         continuous: bool = True,
         interval_ns: Optional[float] = None,
+        rto_ns: Optional[float] = None,
     ):
         if message_size <= 0:
             raise ValueError(f"message size must be positive, got {message_size}")
+        if rto_ns is not None and rto_ns <= 0.0:
+            raise ValueError(f"rto_ns must be positive, got {rto_ns}")
         self.sim = sim
         self.costs = costs
         self.flow = flow
@@ -175,6 +204,16 @@ class TcpSender:
         self._pending_requests: List[tuple] = []  # (size, on_sent) for demand mode
         self._pace_next_ns = 0.0  # token-bucket pacer (fq/TSQ-style)
         self._send_start_ns = 0.0
+        # Retransmission (off by default — the stock model is lossless and
+        # window-limited, and golden-seed runs must stay bit-identical).
+        # Migration plans arm an RTO so blackout/loss gaps recover: unacked
+        # segments are kept and resent go-back-N style when the timer finds
+        # no cumulative-ACK progress.
+        self.rto_ns = rto_ns
+        self.retransmit_segments = 0
+        self._retx_queue: List[Packet] = []
+        self._rto_armed = False
+        self._acked_at_arm = 0
 
     # ----------------------------------------------------------------- API
     def start(self) -> None:
@@ -192,6 +231,13 @@ class TcpSender:
         """Cumulative ACK from the receiver (invoked after wire delay)."""
         if ack_seq > self.acked_seq:
             self.acked_seq = ack_seq
+            if self.rto_ns is not None and self._retx_queue:
+                q = self._retx_queue
+                drop = 0
+                while drop < len(q) and q[drop].seq + q[drop].payload <= ack_seq:
+                    drop += 1
+                if drop:
+                    del q[:drop]
         self._pump()
 
     @property
@@ -274,6 +320,9 @@ class TcpSender:
                 self.sim.sched_at(t, self.wire.send, pkt)
             t += pkt.wire_bytes * gap_per_byte
         self._pace_next_ns = t
+        if self.rto_ns is not None:
+            self._retx_queue.extend(frags)
+            self._arm_rto()
         self.messages_sent += batch
         self.telemetry.count("tcp_messages_sent", batch)
         if on_sent is not None:
@@ -290,6 +339,45 @@ class TcpSender:
     def _unblock(self) -> None:
         self._sending = False
         self._pump()
+
+    # ------------------------------------------------------- retransmission
+    def _arm_rto(self) -> None:
+        if self._rto_armed:
+            return
+        self._rto_armed = True
+        self._acked_at_arm = self.acked_seq
+        # bound method, not a closure: a live event heap stays picklable
+        self.sim.sched_in(self.rto_ns, self._rto_check)
+
+    def _rto_check(self) -> None:
+        self._rto_armed = False
+        if not self._retx_queue:
+            return  # everything acked; the next transmit re-arms
+        if self.acked_seq > self._acked_at_arm:
+            # cumulative-ACK progress within the RTO: no loss signal yet
+            self._arm_rto()
+            return
+        self._retransmit()
+        self._arm_rto()
+
+    def _retransmit(self) -> None:
+        """Go-back-N: resend every unacked segment as an independent clone
+        (the originals may still be in flight or delivered — the receiver's
+        ``rcv_nxt`` discipline discards whichever copy arrives late)."""
+        from repro.faults.injectors import clone_packet
+
+        gap_per_byte = 8.0 / self.costs.tcp_pacing_gbps
+        t = max(self.sim.now, self._pace_next_ns)
+        for pkt in self._retx_queue:
+            copy = clone_packet(pkt)
+            if t <= self.sim.now:
+                self.wire.send(copy)
+            else:
+                self.sim.sched_at(t, self.wire.send, copy)
+            t += copy.wire_bytes * gap_per_byte
+        self._pace_next_ns = t
+        self.retransmit_segments += len(self._retx_queue)
+        self.telemetry.count("tcp_retransmit_segments", len(self._retx_queue))
 
 
 def _noop() -> None:

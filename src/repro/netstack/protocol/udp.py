@@ -77,6 +77,20 @@ class UdpDeliverStage(Stage):
         ctx.pipeline.recycle_skb(skb)
         return []
 
+    def detach_flow(self, flow: FlowKey) -> "OrderedDict[Tuple[FlowKey, int], list]":
+        """Remove and return ``flow``'s partially-reassembled datagrams
+        (the migration freeze path); insertion order is preserved so the
+        restore re-installs the same eviction ordering."""
+        detached: "OrderedDict[Tuple[FlowKey, int], list]" = OrderedDict()
+        for key in [k for k in self._partial if k[0] == flow]:
+            detached[key] = self._partial.pop(key)
+        return detached
+
+    def attach_flow(self, entries: "OrderedDict[Tuple[FlowKey, int], list]") -> None:
+        """Reinstall detached reassembly state (the migration restore path)."""
+        for key, entry in entries.items():
+            self._partial[key] = entry
+
     def _add_fragment(self, pkt: Packet, tele: Telemetry, now: float) -> None:
         if pkt.frag_count == 1:
             tele.count("udp_delivered_messages")

@@ -199,6 +199,24 @@ class GroStage(Stage):
         """Number of flows with an skb currently parked in GRO."""
         return len(self._held)
 
+    def flush_flow(self, flow) -> List[Skb]:
+        """Detach every held skb for ``flow`` (freeze-time quiesce).
+
+        The caller decides what to do with them — the migration
+        controller injects them downstream so they reach the balancer's
+        blackout buffer in arrival order before the container freezes.
+        Armed flush timers find their key gone and disarm themselves.
+        """
+        keys = sorted((k for k in self._held if k[1] == flow), key=lambda k: k[0])
+        return [self._take(k) for k in keys]
+
+    def release_flow(self, flow, pipeline) -> int:
+        """Recycle every held skb for a retired flow back to the skb pool."""
+        flushed = self.flush_flow(flow)
+        for skb in flushed:
+            pipeline.recycle_skb(skb)
+        return len(flushed)
+
 
 def _ends_message(skb: Skb) -> bool:
     """True when the skb's last segment closes a message (TCP PSH flag —

@@ -5,6 +5,7 @@ tunnel endpoint, learning bridge, veth pair) and datapath builders that
 assemble them into the receive pipelines of Figures 1 and 2.
 """
 
+from repro.overlay.balancer import ConsistentHashBalancerStage, HashRing
 from repro.overlay.devices import (
     BridgeStage,
     OuterUdpDemuxStage,
@@ -12,7 +13,7 @@ from repro.overlay.devices import (
     VethXmitStage,
     VxlanDecapStage,
 )
-from repro.overlay.namespace import ContainerNamespace
+from repro.overlay.namespace import ContainerNamespace, OverlayNetwork
 from repro.overlay.topology import build_datapath_stages, DatapathKind
 
 __all__ = [
@@ -21,7 +22,10 @@ __all__ = [
     "VethXmitStage",
     "VethRxStage",
     "OuterUdpDemuxStage",
+    "ConsistentHashBalancerStage",
+    "HashRing",
     "ContainerNamespace",
+    "OverlayNetwork",
     "build_datapath_stages",
     "DatapathKind",
 ]

@@ -13,14 +13,26 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.sim.engine import SimulationError
+
 
 class ContainerNamespace:
-    """One container's network identity on an overlay network."""
+    """One container's network identity on an overlay network.
+
+    Namespaces carry a lifecycle state machine for live migration:
+    ``running`` → ``frozen`` (checkpoint taken, no packet may enter) →
+    either ``running`` again (restore) or ``retired`` (the source side
+    after a successful cutover).  Transitions that make no physical
+    sense — freezing a frozen container, restoring a running one,
+    resurrecting a retired one — raise :class:`SimulationError` rather
+    than silently corrupting the cutover script.
+    """
 
     def __init__(self, name: str, private_ip: int, host: Optional[object] = None):
         self.name = name
         self.private_ip = private_ip
         self.host = host
+        self.state = "running"
         self._next_port = 40000
 
     def ephemeral_port(self) -> int:
@@ -29,8 +41,31 @@ class ContainerNamespace:
         self._next_port += 1
         return port
 
+    # ------------------------------------------------------------- lifecycle
+    def freeze(self) -> None:
+        """CRIU-style dump start: the container stops executing."""
+        if self.state != "running":
+            raise SimulationError(
+                f"cannot freeze container {self.name!r}: state is {self.state!r}"
+            )
+        self.state = "frozen"
+
+    def restore(self) -> None:
+        """Resume from a checkpoint (on this or another host)."""
+        if self.state != "frozen":
+            raise SimulationError(
+                f"cannot restore container {self.name!r}: state is {self.state!r}"
+            )
+        self.state = "running"
+
+    def retire(self) -> None:
+        """Tear the namespace down for good (post-cutover source side)."""
+        if self.state == "retired":
+            raise SimulationError(f"container {self.name!r} is already retired")
+        self.state = "retired"
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<ContainerNamespace {self.name} ip={self.private_ip}>"
+        return f"<ContainerNamespace {self.name} ip={self.private_ip} {self.state}>"
 
 
 class OverlayNetwork:
@@ -42,11 +77,24 @@ class OverlayNetwork:
         self._next_ip = 2  # .0 network, .1 gateway
         self.containers: Dict[str, ContainerNamespace] = {}
 
-    def attach(self, container_name: str, host: Optional[object] = None) -> ContainerNamespace:
-        """Create a namespace for ``container_name`` with a fresh private IP."""
+    def attach(
+        self,
+        container_name: str,
+        host: Optional[object] = None,
+        state: str = "running",
+    ) -> ContainerNamespace:
+        """Create a namespace for ``container_name`` with a fresh private IP.
+
+        ``state="frozen"`` pre-creates a dormant namespace — a migration
+        destination that has an address from day one but only starts
+        executing when the checkpoint is restored into it.
+        """
         if container_name in self.containers:
             raise ValueError(f"container {container_name!r} already attached")
+        if state not in ("running", "frozen"):
+            raise ValueError(f"cannot attach a container in state {state!r}")
         ns = ContainerNamespace(container_name, self._subnet_base + self._next_ip, host)
+        ns.state = state
         self._next_ip += 1
         self.containers[container_name] = ns
         return ns

@@ -44,6 +44,7 @@ def build_datapath_stages(
     tcp_receiver: Optional[TcpReceiverStage] = None,
     udp_deliver: Optional[UdpDeliverStage] = None,
     tcp_deliver: Optional[TcpDeliverStage] = None,
+    balancer: Optional[Stage] = None,
 ) -> List[Stage]:
     """Build the ordered receive stages for one host.
 
@@ -51,9 +52,17 @@ def build_datapath_stages(
     wiring ACK callbacks; likewise ``udp_deliver`` for inspecting
     reassembly state and ``tcp_deliver`` for message callbacks.  Fresh
     instances are created when omitted.
+
+    ``balancer`` (a :class:`repro.overlay.balancer
+    .ConsistentHashBalancerStage`) is spliced between the outer UDP
+    demux and VxLAN decap — host-side service ingress, ahead of any
+    per-container processing.  It is only built for migration runs; the
+    default datapath is unchanged, stage for stage.
     """
     if proto not in ("tcp", "udp"):
         raise ValueError(f"proto must be 'tcp' or 'udp', got {proto!r}")
+    if balancer is not None and kind is not DatapathKind.OVERLAY:
+        raise ValueError("an ingress balancer requires the overlay datapath")
 
     stages: List[Stage] = [SkbAllocStage(), GroStage()]
     if kind is DatapathKind.NATIVE:
@@ -63,6 +72,12 @@ def build_datapath_stages(
             [
                 IpRcvStage("ip_outer", "ip_rcv_ns"),
                 OuterUdpDemuxStage(),
+            ]
+        )
+        if balancer is not None:
+            stages.append(balancer)
+        stages.extend(
+            [
                 VxlanDecapStage(),
                 BridgeStage(),
                 VethXmitStage(),

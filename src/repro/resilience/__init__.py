@@ -28,7 +28,9 @@ from repro.resilience.checkpoint import (
     checkpoint_scope,
     claim_slot,
     current_context,
+    freeze_blob,
     load_checkpoint,
+    thaw_blob,
     verify_checkpoint,
     write_checkpoint,
 )
@@ -45,7 +47,9 @@ __all__ = [
     "checkpoint_scope",
     "claim_slot",
     "current_context",
+    "freeze_blob",
     "load_checkpoint",
+    "thaw_blob",
     "verify_checkpoint",
     "write_checkpoint",
 ]

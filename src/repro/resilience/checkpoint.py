@@ -57,10 +57,15 @@ def _current_code_version() -> str:
 
 
 # ----------------------------------------------------------------- file format
-def write_checkpoint(
-    path: Union[str, Path], root: Any, meta: Optional[Dict[str, Any]] = None
-) -> Path:
-    """Serialize ``root`` to ``path`` atomically with a verifiable header."""
+def freeze_blob(root: Any, meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """Serialize ``root`` to a self-verifying in-memory snapshot blob.
+
+    Same format as a checkpoint file (JSON header line + pickle payload,
+    digest in the header) but never touches disk — this is what the
+    migration controller "ships" when it freezes a container: the blob's
+    byte length drives the transfer-delay model and :func:`thaw_blob`
+    verifies the digest before unpickling, exactly like a CRIU image.
+    """
     payload = pickle.dumps(root, protocol=pickle.HIGHEST_PROTOCOL)
     header = {
         "kind": CHECKPOINT_KIND,
@@ -71,8 +76,37 @@ def write_checkpoint(
     }
     if meta:
         header.update(meta)
-    blob = json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
-    return atomic_write_bytes(path, blob)
+    return json.dumps(header, sort_keys=True).encode("utf-8") + b"\n" + payload
+
+
+def thaw_blob(blob: bytes) -> Tuple[Dict[str, Any], Any]:
+    """Verify and unpickle a :func:`freeze_blob` snapshot.
+
+    Returns ``(header, root)``; raises :class:`CheckpointError` on any
+    damage (torn payload, digest mismatch, wrong schema).
+    """
+    fh = io.BufferedReader(io.BytesIO(blob))
+    header = _read_header(fh, Path("<blob>"))
+    payload = fh.read()
+    if len(payload) != header.get("payload_len"):
+        raise CheckpointError(
+            f"<blob>: torn payload ({len(payload)} of "
+            f"{header.get('payload_len')} bytes)"
+        )
+    if hashlib.sha256(payload).hexdigest() != header.get("payload_sha256"):
+        raise CheckpointError("<blob>: payload digest mismatch")
+    try:
+        root = pickle.loads(payload)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise CheckpointError(f"<blob>: payload does not unpickle: {exc}") from exc
+    return header, root
+
+
+def write_checkpoint(
+    path: Union[str, Path], root: Any, meta: Optional[Dict[str, Any]] = None
+) -> Path:
+    """Serialize ``root`` to ``path`` atomically with a verifiable header."""
+    return atomic_write_bytes(path, freeze_blob(root, meta))
 
 
 def _read_header(fh: io.BufferedReader, path: Path) -> Dict[str, Any]:

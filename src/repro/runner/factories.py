@@ -68,6 +68,7 @@ def sockperf_factory(
         faults=params.get("faults"),
         obs=params.get("obs"),
         selfprof=params.get("selfprof"),
+        migration=params.get("migration"),
     )
     return _scenario_measurements(res)
 

@@ -61,6 +61,10 @@ def scenario_result_to_dict(res: ScenarioResult) -> Dict[str, Any]:
         out["obs"] = dict(res.obs)
     if res.selfprof is not None:
         out["selfprof"] = dict(res.selfprof)
+    if res.migration is not None:
+        out["migration"] = dict(res.migration)
+    if res.health_counts:
+        out["health_counts"] = {k: dict(v) for k, v in res.health_counts.items()}
     return out
 
 
@@ -85,6 +89,10 @@ def scenario_result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
         conservation_violations=int(data.get("conservation_violations", 0)),
         obs=data.get("obs"),
         selfprof=data.get("selfprof"),
+        migration=data.get("migration"),
+        health_counts={
+            k: dict(v) for k, v in data.get("health_counts", {}).items()
+        },
     )
 
 

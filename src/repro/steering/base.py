@@ -97,11 +97,13 @@ class SteeringPolicy:
         """Hook for policies that react to fault injection (MFLOW wires
         its blackout hook and health monitor here); baselines ignore it."""
 
-    def retire_flow(self, flow: FlowKey) -> bool:
+    def retire_flow(self, flow: FlowKey, pipeline=None) -> bool:
         """Release per-flow steering state when a flow ends.
 
         Returns True when the policy actually held state for ``flow``.
-        Baselines keep no per-flow resources worth reclaiming.
+        ``pipeline``, when given, lets stateful policies recycle parked
+        skbs back to the skb pool (MFLOW's merge queues); baselines keep
+        no per-flow resources worth reclaiming.
         """
         return False
 

@@ -26,6 +26,8 @@ from repro.faults.plan import FaultPlanLike, resolve_fault_plan
 from repro.faults.watchdog import ConservationWatchdog
 from repro.metrics.summary import LatencySummary, summarize_latencies
 from repro.metrics.telemetry import Telemetry
+from repro.migration.controller import MigrationController
+from repro.migration.plan import MigrationPlan, MigrationPlanLike, resolve_migration_plan
 from repro.netstack.costs import DEFAULT_COSTS, CostModel
 from repro.obs import (
     FlightRecorder,
@@ -42,6 +44,8 @@ from repro.netstack.packet import FlowKey
 from repro.netstack.pipeline import Pipeline, link_nodes
 from repro.netstack.protocol.tcp import TcpDeliverStage, TcpReceiverStage, TcpSender
 from repro.netstack.protocol.udp import UdpDeliverStage, UdpSender
+from repro.overlay.balancer import ConsistentHashBalancerStage, HashRing
+from repro.overlay.namespace import OverlayNetwork
 from repro.overlay.topology import DatapathKind, build_datapath_stages
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -80,6 +84,13 @@ class ScenarioResult:
     #: simulator self-profile (None unless the run had ``selfprof`` on):
     #: wall-clock cost centers, heap traffic, events/sec — see repro.perf
     selfprof: Optional[Dict] = None
+    #: live-migration ledger (None unless the run had an active plan):
+    #: cutover timeline, blackout, buffered/dropped/replayed packets,
+    #: per-flow recovery times, connection drops — see repro.migration
+    migration: Optional[Dict] = None
+    #: per-flow quarantine/readmission tallies from the health monitor
+    #: (empty unless an MFLOW run had an active fault plan)
+    health_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def __str__(self) -> str:  # pragma: no cover - convenience printer
         return (
@@ -104,6 +115,7 @@ class Scenario:
         faults: FaultPlanLike = None,
         obs: ObsConfigLike = None,
         selfprof: Union[None, bool, SelfProfiler] = None,
+        migration: MigrationPlanLike = None,
     ):
         if proto not in ("tcp", "udp"):
             raise ValueError(f"proto must be 'tcp' or 'udp', got {proto!r}")
@@ -131,6 +143,28 @@ class Scenario:
         )
         self.policy = policy_factory(self.cpus)
 
+        # Migration resolves like fault plans: an inert plan is None, and
+        # the no-migration path builds the exact same stage list, object
+        # graph and event schedule as a run that never heard of migration
+        # (golden-seed runs stay byte-identical).
+        self.migration_plan: Optional[MigrationPlan] = resolve_migration_plan(migration)
+        self.network: Optional[OverlayNetwork] = None
+        self.balancer: Optional[ConsistentHashBalancerStage] = None
+        self.migration: Optional[MigrationController] = None
+        if self.migration_plan is not None:
+            if kind is not DatapathKind.OVERLAY:
+                raise ValueError("live migration requires the overlay datapath")
+            plan = self.migration_plan
+            self.network = OverlayNetwork()
+            self.network.attach(plan.source)
+            # the destination namespace is dormant until the restore
+            self.network.attach(plan.dest, state="frozen")
+            ring = HashRing(vnodes=plan.vnodes)
+            ring.add(plan.source)
+            self.balancer = ConsistentHashBalancerStage(
+                ring, buffer_packets=plan.buffer_packets
+            )
+
         self.tcp_receiver: Optional[TcpReceiverStage] = None
         self.tcp_deliver: Optional[TcpDeliverStage] = None
         self.udp_deliver: Optional[UdpDeliverStage] = None
@@ -145,6 +179,7 @@ class Scenario:
             tcp_receiver=self.tcp_receiver,
             udp_deliver=self.udp_deliver,
             tcp_deliver=self.tcp_deliver,
+            balancer=self.balancer,
         )
         stages = self.policy.build_pipeline_stages(stages)
         self.pipeline = Pipeline(self.sim, self.costs, self.policy, self.telemetry)
@@ -161,6 +196,8 @@ class Scenario:
             rss_cores=rss_cores,
         )
         self.wire = Wire(self.sim, self.costs, self.nic, faults=self.faults)
+        if self.migration_plan is not None:
+            self.migration = MigrationController(self, self.migration_plan)
         # Observability: resolve like fault plans — a disabled config is
         # inert (None) and the run builds the exact same event schedule
         # and consumes the same randomness as an uninstrumented one.
@@ -247,6 +284,12 @@ class Scenario:
         if flow is None:
             flow = make_flow("tcp", self._client_count)
         client = self._new_client_cores()
+        # migration runs arm a retransmission timeout so blackout drops
+        # (and lossy fault plans riding along) recover instead of
+        # deadlocking the window; plain runs keep the stock lossless model
+        rto_ns = None
+        if self.migration_plan is not None and self.migration_plan.retransmit_ns > 0.0:
+            rto_ns = self.migration_plan.retransmit_ns
         sender = TcpSender(
             self.sim,
             self.costs,
@@ -260,6 +303,7 @@ class Scenario:
             window_bytes=window_bytes,
             continuous=continuous,
             interval_ns=interval_ns,
+            rto_ns=rto_ns,
         )
         self._senders[flow] = sender
         self._client_count += 1
@@ -296,6 +340,24 @@ class Scenario:
         sender = self._senders.get(flow)
         if sender is not None:
             self.sim.call_in(self.costs.wire_delay_ns, sender.on_ack, flow, ack_seq)
+
+    # ------------------------------------------------------------- teardown
+    def retire_flow(self, flow: FlowKey) -> None:
+        """Tear down one flow mid-run, releasing every pooled resource.
+
+        Retiring a flow (or the container namespace serving it) must not
+        strand pooled skbs: GRO held skbs, the TCP OOO queue, and any
+        skbs parked in the steering policy's merge queues all return to
+        the pipeline's free list here.
+        """
+        gro = self.pipeline.find_node("gro").stage
+        gro.release_flow(flow, self.pipeline)
+        if self.tcp_receiver is not None:
+            self.tcp_receiver.release_flow(flow, self.pipeline)
+        if self.udp_deliver is not None:
+            self.udp_deliver.detach_flow(flow)  # index sets only, no skbs
+        self.policy.retire_flow(flow, pipeline=self.pipeline)
+        self._senders.pop(flow, None)
 
     # ----------------------------------------------------------------- run
     def run(
@@ -341,6 +403,8 @@ class Scenario:
         if self.journeys is not None and self.obs_config.journey_start_ns == 0.0:
             # default journey horizon: sample steady state, not warmup
             self.journeys.start_ns = warmup_ns
+        if self.migration is not None:
+            self.migration.arm()
         for i, sender in enumerate(self._senders.values()):
             # small stagger so clients do not start in lockstep
             self.sim.call_in(i * 1_000.0, sender.start)
@@ -428,4 +492,8 @@ class Scenario:
             conservation_violations=violations,
             obs=obs_payload,
             selfprof=selfprof_payload,
+            migration=self.migration.summary() if self.migration is not None else None,
+            health_counts={k: dict(v) for k, v in monitor.counts.items()}
+            if monitor
+            else {},
         )

@@ -116,6 +116,7 @@ def build_scenario(
     faults=None,
     obs=None,
     selfprof=None,
+    migration=None,
 ) -> Scenario:
     """Assemble the single-flow scenario for one (system, proto, size)."""
     sc = Scenario(
@@ -130,6 +131,7 @@ def build_scenario(
         faults=faults,
         obs=obs,
         selfprof=selfprof,
+        migration=migration,
     )
     for _ in range(CLIENTS[proto]):
         if proto == "tcp":
@@ -153,6 +155,7 @@ def run_single_flow(
     faults=None,
     obs=None,
     selfprof=None,
+    migration=None,
 ) -> ScenarioResult:
     """Run one cell of Fig. 4a / Fig. 8a / Fig. 9."""
     sc = build_scenario(
@@ -167,6 +170,7 @@ def run_single_flow(
         faults=faults,
         obs=obs,
         selfprof=selfprof,
+        migration=migration,
     )
     return sc.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
 

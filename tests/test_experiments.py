@@ -81,7 +81,7 @@ class TestRunner:
     def test_all_figures_registered(self):
         assert set(EXPERIMENTS) == {
             "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "sensitivity", "extensions", "chaos",
+            "sensitivity", "extensions", "chaos", "migration",
         }
 
     def test_unknown_figure_rejected(self):

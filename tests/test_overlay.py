@@ -3,6 +3,7 @@
 import pytest
 
 from helpers import Harness, TEST_FLOW, make_skb
+from repro.faults.plan import FaultPlan
 from repro.netstack.costs import DEFAULT_COSTS
 from repro.netstack.protocol.tcp import TcpDeliverStage, TcpReceiverStage
 from repro.netstack.protocol.udp import UdpDeliverStage
@@ -127,3 +128,107 @@ class TestNamespaces:
         ns = ContainerNamespace("c", 42)
         p1, p2 = ns.ephemeral_port(), ns.ephemeral_port()
         assert p2 == p1 + 1
+
+
+class TestNamespaceLifecycle:
+    def test_freeze_restore_retire(self):
+        ns = ContainerNamespace("c", 42)
+        assert ns.state == "running"
+        ns.freeze()
+        assert ns.state == "frozen"
+        ns.restore()
+        assert ns.state == "running"
+        ns.retire()
+        assert ns.state == "retired"
+
+    def test_double_freeze_raises(self):
+        from repro.sim.engine import SimulationError
+
+        ns = ContainerNamespace("c", 42)
+        ns.freeze()
+        with pytest.raises(SimulationError, match="cannot freeze"):
+            ns.freeze()
+
+    def test_restore_running_raises(self):
+        from repro.sim.engine import SimulationError
+
+        ns = ContainerNamespace("c", 42)
+        with pytest.raises(SimulationError, match="cannot restore"):
+            ns.restore()
+
+    def test_retired_is_terminal(self):
+        from repro.sim.engine import SimulationError
+
+        ns = ContainerNamespace("c", 42)
+        ns.retire()
+        for op in (ns.freeze, ns.restore, ns.retire):
+            with pytest.raises(SimulationError):
+                op()
+
+    def test_attach_frozen_destination(self):
+        net = OverlayNetwork()
+        dst = net.attach("dst", state="frozen")
+        assert dst.state == "frozen"
+        dst.restore()
+        assert dst.state == "running"
+
+    def test_attach_invalid_state_rejected(self):
+        net = OverlayNetwork()
+        with pytest.raises(ValueError):
+            net.attach("x", state="retired")
+
+
+class TestOverlayUnderFaults:
+    """The overlay devices under wire fault plans: VxLAN decap and the
+    bridge must keep conserving packets when the wire corrupts or
+    reorders frames (satellite coverage riding the migration PR)."""
+
+    WIN = {"warmup_ns": 0.5e6, "measure_ns": 2.0e6}
+
+    def _run(self, plan, proto="tcp"):
+        from repro.workloads.sockperf import run_single_flow
+
+        return run_single_flow("vanilla", proto, 65536, faults=plan, **self.WIN)
+
+    def test_vxlan_decap_under_corrupt_wire(self):
+        plan = FaultPlan(name="corrupt", corrupt_rate=0.02)
+        res = self._run(plan)
+        assert res.fault_counters.get("fault_corrupt_frames", 0) > 0
+        # corrupted frames die on the wire: they never reach the decap
+        # stage, and everything that did decap is accounted for
+        arrivals = res.counters["nic_rx_packets"] + res.counters.get(
+            "nic_ring_drops", 0
+        )
+        assert res.counters["vxlan_decapped"] <= arrivals
+        # frames that survived the wire still decapsulate (the stock TCP
+        # sender never retransmits, so delivery itself may stall — the
+        # device layer must stay lossless regardless)
+        assert res.counters["vxlan_decapped"] > 0
+        assert res.conservation_violations == 0
+
+    def test_vxlan_decap_under_reordering_wire(self):
+        plan = FaultPlan(
+            name="reorder", reorder_rate=0.05, reorder_delay_ns=30_000.0,
+            jitter_ns=1_000.0,
+        )
+        res = self._run(plan)
+        assert res.fault_counters.get("fault_reordered_frames", 0) > 0
+        # reordering delays but never destroys frames: every frame the
+        # NIC accepted crossed the bridge and was decapsulated
+        assert res.counters["vxlan_decapped"] > 0
+        assert res.conservation_violations == 0
+        assert res.messages_delivered > 0
+
+    def test_bridge_conserves_under_corrupt_udp(self):
+        plan = FaultPlan(name="corrupt", corrupt_rate=0.02)
+        res = self._run(plan, proto="udp")
+        assert res.fault_counters.get("fault_corrupt_frames", 0) > 0
+        assert res.conservation_violations == 0
+        assert res.messages_delivered > 0
+
+    def test_clean_plan_matches_no_plan(self):
+        baseline = self._run(None)
+        clean = self._run(FaultPlan(name="clean"))
+        assert clean.throughput_gbps == baseline.throughput_gbps
+        assert clean.messages_delivered == baseline.messages_delivered
+        assert dict(clean.counters) == dict(baseline.counters)

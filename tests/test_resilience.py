@@ -667,11 +667,16 @@ class TestArtifactWriteLint:
     ``json.dump(`` (the file-writing form — ``json.dumps`` is fine) and
     ``.write_text(`` are forbidden in ``src/repro`` outside the atomic
     helpers themselves, unless the line carries an ``atomic-ok`` marker
-    (reserved for serialization into caller-owned streams).
+    (reserved for serialization into caller-owned streams).  ``pickle.dump``
+    and ``pickle.dumps`` are forbidden outside ``repro.resilience`` entirely:
+    every snapshot must flow through the digest-verified checkpoint blob
+    format (``freeze_blob``/``write_checkpoint``), never raw pickles.
     """
 
     FORBIDDEN = re.compile(r"(?<!\w)json\.dump\(|\.write_text\(")
+    PICKLE = re.compile(r"(?<!\w)pickle\.dumps?\(")
     EXEMPT_FILES = {os.path.join("resilience", "atomic.py")}
+    PICKLE_EXEMPT_DIRS = {"resilience"}
 
     def _src_root(self):
         import repro
@@ -694,12 +699,32 @@ class TestArtifactWriteLint:
             + "\n".join(offenders)
         )
 
+    def test_no_raw_pickles_outside_resilience(self):
+        root = self._src_root()
+        offenders = []
+        for path in sorted(root.rglob("*.py")):
+            rel = str(path.relative_to(root))
+            if rel.split(os.sep)[0] in self.PICKLE_EXEMPT_DIRS:
+                continue
+            for lineno, line in enumerate(path.read_text().splitlines(), 1):
+                if self.PICKLE.search(line):
+                    offenders.append(f"{rel}:{lineno}: {line.strip()}")
+        assert not offenders, (
+            "raw pickle emission outside repro.resilience (use freeze_blob / "
+            "write_checkpoint so every snapshot is digest-verified):\n"
+            + "\n".join(offenders)
+        )
+
     def test_lint_actually_detects(self, tmp_path):
         """The pattern matches the idioms it exists to forbid."""
         assert self.FORBIDDEN.search("json.dump(obj, fh)")
         assert self.FORBIDDEN.search("path.write_text(data)")
         assert not self.FORBIDDEN.search("json.dumps(obj)")
         assert not self.FORBIDDEN.search("atomic_write_text(path, data)")
+        assert self.PICKLE.search("pickle.dump(obj, fh)")
+        assert self.PICKLE.search("pickle.dumps(obj)")
+        assert not self.PICKLE.search("pickle.loads(blob)")
+        assert not self.PICKLE.search("unpickle.dumps(obj)")
 
 
 # ------------------------------------------------- wheel-populated snapshots
