@@ -16,6 +16,9 @@
     python -m repro fidelity   --quick
     python -m repro resume     results/
     python -m repro fsck       results/ --evict
+    python -m repro top        results/fig8 --once --json
+    python -m repro metrics    results/fig8 --out sweep.prom
+    python -m repro report     results/ --out report.html
 
 Every subcommand prints a small table; ``compare`` adds an ASCII bar
 chart; ``trace`` runs one instrumented scenario and exports flight-
@@ -28,7 +31,10 @@ against a baseline), ``fidelity`` scores reproduced headline numbers
 against the paper within tolerance bands.  ``resume`` finishes an interrupted
 sweep from its ``sweep.json`` + result cache + simulator checkpoints;
 ``fsck`` audits a results tree, classifying artifacts as ok,
-salvageable, or corrupt (:mod:`repro.resilience`).
+salvageable, or corrupt (:mod:`repro.resilience`).  ``top``, ``metrics``
+and ``report`` are the sweep-telemetry readers (:mod:`repro.obs.live`):
+a live journal-tailing status view, an OpenMetrics exporter, and a
+self-contained HTML/markdown run report.
 """
 
 from __future__ import annotations
@@ -190,10 +196,23 @@ def cmd_migrate(args) -> int:
         for name in sorted(MIGRATION_PLANS):
             print(f"{name:<{width}}  {MIGRATION_PLANS[name].describe()}")
         return 0
+    status_line = None
+    if sys.stderr.isatty() and not args.json:
+        from repro.obs.live.status import StatusLine
+
+        status_line = StatusLine("migrate")
+        status_line.update(
+            f"{args.system} {args.proto} {args.size}B plan={args.plan}: simulating cutover…"
+        )
     res = run_single_flow(
         args.system, args.proto, args.size, seed=args.seed,
         faults=args.fault_plan, migration=args.plan, **_windows(args),
     )
+    if status_line is not None:
+        status_line.done(
+            f"{args.system} {args.proto} {args.size}B plan={args.plan}: "
+            f"{res.messages_delivered} msgs simulated"
+        )
     if args.json:
         from repro.runner import scenario_result_to_dict
 
@@ -314,9 +333,14 @@ def cmd_trace(args) -> int:
         f"{args.system} {args.proto} {args.size}B: {res.throughput_gbps:.2f} Gbps, "
         f"{res.messages_delivered} msgs"
     )
+    drop_note = (
+        "complete"
+        if rec.events_dropped == 0
+        else f"reservoir-sampled: {rec.events_dropped} dropped"
+    )
     print(
-        f"  flight recorder: {rec.events_seen} events seen, {rec.events_kept} kept, "
-        f"{len(rec.cores())} core tracks"
+        f"  flight recorder: {rec.events_seen} events seen, {rec.events_kept} kept "
+        f"({drop_note}), {len(rec.cores())} core tracks"
     )
     perfetto_path, timeseries_path = args.perfetto, args.timeseries
     if perfetto_path is None and timeseries_path is None:
@@ -429,16 +453,18 @@ def cmd_bench(args) -> int:
         perf_bench.QUICK_REPS if args.quick else perf_bench.DEFAULT_REPS
     )
 
+    from repro.obs.live.status import StatusLine
+
+    status_line = StatusLine("bench")
+
     def progress(name: str, rep: int, total: int) -> None:
-        sys.stderr.write(f"\r[bench] {name:<28} rep {rep + 1}/{total}   ")
-        sys.stderr.flush()
+        status_line.update(f"{name:<28} rep {rep + 1}/{total}")
 
     results = perf_bench.run_bench(
         scenarios, reps=reps, seed=args.seed,
         progress=progress if sys.stderr.isatty() else None, **windows,
     )
-    if sys.stderr.isatty():
-        sys.stderr.write("\n")
+    status_line.done()
     payload = perf_bench.bench_payload(
         results, reps=reps, seed=args.seed,
         warmup_ns=windows["warmup_ns"], measure_ns=windows["measure_ns"],
@@ -482,9 +508,15 @@ def cmd_resume(args) -> int:
     """Finish an interrupted sweep from sweep.json + cache + checkpoints."""
     from repro.resilience.resume import ResumeError, resume_results
 
+    progress = None
+    if sys.stderr.isatty() and not args.json:
+        from repro.obs.live.status import SweepProgress
+
+        progress = SweepProgress("resume")
     try:
         report = resume_results(
-            args.results_dir, jobs=args.jobs, experiments=args.experiments or None
+            args.results_dir, jobs=args.jobs,
+            experiments=args.experiments or None, progress=progress,
         )
     except ResumeError as exc:
         raise SystemExit(str(exc))
@@ -509,6 +541,85 @@ def cmd_fsck(args) -> int:
     else:
         print(report.report())
     return report.exit_code()
+
+
+def cmd_top(args) -> int:
+    """Live (journal-tailing) sweep status view."""
+    from pathlib import Path
+
+    from repro.obs.live.status import StatusError
+    from repro.obs.live.top import top
+
+    try:
+        return top(
+            Path(args.sweep_dir),
+            once=args.once,
+            as_json=args.json,
+            interval_s=args.interval,
+        )
+    except StatusError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_metrics(args) -> int:
+    """OpenMetrics (Prometheus textfile) export of sweep telemetry."""
+    from pathlib import Path
+
+    from repro.obs.live.openmetrics import render_openmetrics, sweep_families
+    from repro.obs.live.status import StatusError, load_statuses
+
+    try:
+        statuses = load_statuses(Path(args.sweep_dir))
+    except StatusError as exc:
+        raise SystemExit(str(exc))
+    text = render_openmetrics(sweep_families(statuses))
+    if args.out:
+        from repro.resilience.atomic import atomic_write_text
+
+        atomic_write_text(args.out, text)
+        print(
+            f"wrote {args.out} ({len(text.splitlines())} lines, "
+            f"{len(statuses)} sweep(s), OpenMetrics)"
+        )
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Unified HTML/markdown report over sweeps (+ optional bench/fidelity)."""
+    from pathlib import Path
+
+    from repro.obs.live.report import (
+        build_html,
+        build_markdown,
+        load_json_artifact,
+        write_report,
+    )
+    from repro.obs.live.status import StatusError, load_statuses
+
+    try:
+        statuses = load_statuses(Path(args.sweep_dir))
+    except StatusError as exc:
+        raise SystemExit(str(exc))
+    try:
+        bench = load_json_artifact(Path(args.bench)) if args.bench else None
+        fidelity = (
+            load_json_artifact(Path(args.fidelity)) if args.fidelity else None
+        )
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    title = args.title or (
+        "repro run report — " + ", ".join(s.experiment for s in statuses)
+    )
+    build = build_markdown if args.markdown else build_html
+    text = build(statuses, bench=bench, fidelity=fidelity, title=title)
+    if args.out:
+        write_report(Path(args.out), text)
+        print(f"wrote {args.out} ({len(statuses)} sweep(s))")
+    else:
+        sys.stdout.write(text)
+    return 0
 
 
 def cmd_ceilings(args) -> int:
@@ -684,6 +795,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit the report as JSON")
     p.set_defaults(fn=cmd_fsck)
+
+    p = sub.add_parser(
+        "top", help="live sweep status from the journal (tail-safe)"
+    )
+    p.add_argument(
+        "sweep_dir",
+        help="sweep directory, or a results root holding several sweeps",
+    )
+    p.add_argument(
+        "--once", action="store_true", help="render one snapshot and exit"
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable status document (implies --once)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds (follow mode; default 1.0)",
+    )
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser(
+        "metrics", help="OpenMetrics (Prometheus textfile) sweep export"
+    )
+    p.add_argument(
+        "sweep_dir",
+        help="sweep directory, or a results root holding several sweeps",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the textfile atomically instead of printing it",
+    )
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "report", help="self-contained HTML/markdown sweep report"
+    )
+    p.add_argument(
+        "sweep_dir",
+        help="sweep directory, or a results root holding several sweeps",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the report atomically instead of printing it",
+    )
+    p.add_argument(
+        "--markdown", action="store_true",
+        help="emit GitHub-flavored markdown instead of HTML",
+    )
+    p.add_argument(
+        "--bench", metavar="BENCH_JSON", default=None,
+        help="embed a BENCH_<sha>.json payload (repro bench --out)",
+    )
+    p.add_argument(
+        "--fidelity", metavar="FIDELITY_JSON", default=None,
+        help="embed a fidelity scoreboard JSON (repro fidelity --json-out)",
+    )
+    p.add_argument("--title", default=None, help="report title override")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("ceilings", help="analytic bottleneck upper bounds")
     p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")

@@ -22,7 +22,9 @@ import json
 import os
 import sys
 import time
-from typing import Callable, Dict
+from typing import Dict
+
+from repro.obs.live.status import SweepProgress
 
 from repro.experiments import (
     chaos_matrix,
@@ -57,37 +59,6 @@ MODULES = {
 
 #: name -> one-call library entry point (kept for tests and interactive use)
 EXPERIMENTS: Dict[str, Callable] = {name: mod.run for name, mod in MODULES.items()}
-
-
-def _progress(name: str) -> Callable:
-    """Stderr progress line:
-    ``[fig8] 12/40 cached=3 last 0.82s 131k ev/s eta 18s``."""
-    started = time.monotonic()
-    cached = 0
-
-    def cb(done: int, total: int, record) -> None:
-        nonlocal cached
-        if record.cached:
-            cached += 1
-        elapsed = time.monotonic() - started
-        live_done = done - cached
-        if live_done > 0 and done < total:
-            eta = f"eta {elapsed / live_done * (total - done):4.0f}s"
-        else:
-            eta = "eta    ?" if done < total else f"{elapsed:5.1f}s"
-        line = f"[{name}] {done}/{total}"
-        if cached:
-            line += f" cached={cached}"
-        if not record.cached and record.wall_time_s > 0:
-            line += f" last {record.wall_time_s:.2f}s"
-            if record.events_per_sec > 0:
-                line += f" {record.events_per_sec / 1e3:.0f}k ev/s"
-        sys.stderr.write(f"\r{line} {eta}")
-        if done == total:
-            sys.stderr.write("\n")
-        sys.stderr.flush()
-
-    return cb
 
 
 def main(argv=None) -> int:
@@ -144,7 +115,7 @@ def main(argv=None) -> int:
             retries=args.max_retries,
             results_dir=args.results_dir,
             use_cache=not args.no_cache,
-            progress=_progress(name) if sys.stderr.isatty() else None,
+            progress=SweepProgress(name) if sys.stderr.isatty() else None,
             checkpoint_wall_s=args.checkpoint_s,
         )
         started = time.time()

@@ -1,0 +1,63 @@
+"""Sweep-level live telemetry over the RunEngine journal.
+
+Everything in this package is a *reader* of artifacts the runner
+already writes (``sweep.json``, ``journal.jsonl``, ``runs/*.json``) —
+it never holds a lock, never blocks the engine, and is safe to point
+at a sweep directory that is mid-flight or half-written after a crash.
+
+Deliberately **not** imported from :mod:`repro.obs`'s package init:
+``repro.obs`` is imported by the workload layer, which the runner
+imports, and this package imports the runner — importing it eagerly
+would cycle.  Import ``repro.obs.live`` (or its submodules) directly.
+"""
+
+from repro.obs.live.openmetrics import (
+    OPENMETRICS_SCHEMA_VERSION,
+    Family,
+    OpenMetricsError,
+    parse_openmetrics,
+    render_openmetrics,
+    sweep_families,
+)
+from repro.obs.live.report import (
+    REPORT_SCHEMA_VERSION,
+    build_html,
+    build_markdown,
+    write_report,
+)
+from repro.obs.live.status import (
+    TOP_SCHEMA_VERSION,
+    CellStatus,
+    StatusError,
+    StatusLine,
+    SweepProgress,
+    SweepStatus,
+    find_sweep_dirs,
+    load_statuses,
+)
+from repro.obs.live.top import render, status_document, top, watch
+
+__all__ = [
+    "OPENMETRICS_SCHEMA_VERSION",
+    "REPORT_SCHEMA_VERSION",
+    "TOP_SCHEMA_VERSION",
+    "CellStatus",
+    "Family",
+    "OpenMetricsError",
+    "StatusError",
+    "StatusLine",
+    "SweepProgress",
+    "SweepStatus",
+    "build_html",
+    "build_markdown",
+    "find_sweep_dirs",
+    "load_statuses",
+    "parse_openmetrics",
+    "render",
+    "render_openmetrics",
+    "status_document",
+    "sweep_families",
+    "top",
+    "watch",
+    "write_report",
+]

@@ -1,0 +1,382 @@
+"""``repro report <sweep-dir>`` — one static, self-contained run report.
+
+Aggregates everything a sweep leaves behind into a single HTML (or
+markdown) document with no external references, so it can be archived
+as a CI artifact or mailed around:
+
+* **summary tiles** — cells by state, retries, quarantines, cache hit
+  ratio, summed wall time, aggregate events/sec;
+* **run matrix table** — per cell: phase, attempts, wall time,
+  events/sec, throughput, p99 latency, fault/degradation counters;
+* **timeline** — per-cell start→finish bars from the v2 journal's
+  wall-clock timestamps (omitted for v1 journals, which carry none);
+* **latency decomposition** — the per-stage queueing/service/hold table
+  from :mod:`repro.obs.decompose`, for every cell whose record carries
+  an ``obs`` payload;
+* **fault summary** — aggregated fault-injection and degradation
+  counters across the matrix;
+* optional **bench** (``BENCH_*.json``) and **fidelity** scoreboard
+  payloads, embedded as tables when paths are supplied.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from repro.obs.live.status import SweepStatus
+
+__all__ = ["REPORT_SCHEMA_VERSION", "build_html", "build_markdown", "write_report"]
+
+REPORT_SCHEMA_VERSION = 1
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a2733; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+h3 { font-size: 1rem; margin-bottom: .3rem; }
+table { border-collapse: collapse; width: 100%; font-size: .85rem; }
+th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #e3e8ee; }
+th { background: #f4f6f8; } td.num, th.num { text-align: right;
+     font-variant-numeric: tabular-nums; }
+.tiles { display: flex; flex-wrap: wrap; gap: .8rem; margin: 1rem 0; }
+.tile { border: 1px solid #e3e8ee; border-radius: .5rem; padding: .6rem 1rem;
+        min-width: 7rem; }
+.tile .v { font-size: 1.3rem; font-weight: 600; }
+.tile .k { font-size: .75rem; color: #5b6b7a; text-transform: uppercase; }
+.phase-done { color: #1a7f37; } .phase-cached { color: #4a5b8c; }
+.phase-quarantined { color: #b42318; font-weight: 600; }
+.phase-running, .phase-retrying { color: #b45309; }
+.bar-row { display: flex; align-items: center; font-size: .75rem;
+           margin: .15rem 0; }
+.bar-label { width: 18rem; overflow: hidden; text-overflow: ellipsis;
+             white-space: nowrap; }
+.bar-track { flex: 1; background: #f4f6f8; border-radius: .2rem; height: .8rem;
+             position: relative; }
+.bar { position: absolute; height: 100%; border-radius: .2rem;
+       background: #6b7fd7; min-width: 2px; }
+.bar.q { background: #b42318; }
+.note { color: #5b6b7a; font-size: .8rem; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _num(value: Optional[float], fmt: str = "{:.2f}", dash: str = "-") -> str:
+    if value is None:
+        return dash
+    return fmt.format(value)
+
+
+def _tile(value: str, key: str) -> str:
+    return f'<div class="tile"><div class="v">{_esc(value)}</div><div class="k">{_esc(key)}</div></div>'
+
+
+def _summary_tiles(status: SweepStatus) -> str:
+    counts = status.counts()
+    tiles = [
+        _tile(str(status.n_specs), "cells"),
+        _tile(str(counts["done"]), "done"),
+        _tile(str(counts["cached"]), "cached"),
+        _tile(str(counts["quarantined"]), "quarantined"),
+        _tile(str(status.retries_total), "retries"),
+        _tile(f"{status.cache_hit_ratio * 100:.0f}%", "cache hits"),
+        _tile(f"{status.wall_time_total_s:.1f}s", "wall time"),
+    ]
+    if status.events_per_sec_aggregate > 0:
+        tiles.append(
+            _tile(f"{status.events_per_sec_aggregate / 1e3:.0f}k", "events/sec")
+        )
+    return '<div class="tiles">' + "".join(tiles) + "</div>"
+
+
+def _matrix_table(status: SweepStatus) -> str:
+    rows = []
+    for cell in status.cells:
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(cell.label)}</td>"
+            f'<td class="phase-{_esc(cell.phase)}">{_esc(cell.phase)}</td>'
+            f'<td class="num">{cell.attempts}</td>'
+            f'<td class="num">{cell.retries}</td>'
+            f'<td class="num">{cell.checkpoint_restores}</td>'
+            f'<td class="num">{_num(cell.wall_time_s if not cell.cached else None)}</td>'
+            f'<td class="num">{_num(cell.events_per_sec / 1e3 if cell.events_per_sec else None, "{:.0f}k")}</td>'
+            f'<td class="num">{_num(cell.throughput_gbps)}</td>'
+            f'<td class="num">{_num(cell.p99_us, "{:.1f}")}</td>'
+            f'<td class="num">{cell.fault_injections or "-"}</td>'
+            f'<td class="num">{cell.degradation_events or "-"}</td>'
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>cell</th><th>phase</th>"
+        '<th class="num">att</th><th class="num">retry</th>'
+        '<th class="num">ckpt</th><th class="num">wall s</th>'
+        '<th class="num">ev/s</th><th class="num">Gbps</th>'
+        '<th class="num">p99 µs</th><th class="num">faults</th>'
+        '<th class="num">degr</th></tr></thead><tbody>'
+        + "".join(rows)
+        + "</tbody></table>"
+    )
+
+
+def _timeline(status: SweepStatus) -> str:
+    timed = [
+        c for c in status.cells
+        if c.started_ts is not None and c.finished_ts is not None
+        and c.finished_ts >= c.started_ts
+    ]
+    if not timed:
+        return (
+            '<p class="note">No wall-clock timeline: the journal predates '
+            "schema v2 or no cell executed live.</p>"
+        )
+    t0 = min(c.started_ts for c in timed)
+    t1 = max(c.finished_ts for c in timed)
+    span = max(t1 - t0, 1e-9)
+    rows = []
+    for cell in timed:
+        left = (cell.started_ts - t0) / span * 100.0
+        width = max((cell.finished_ts - cell.started_ts) / span * 100.0, 0.3)
+        klass = "bar q" if cell.phase == "quarantined" else "bar"
+        rows.append(
+            '<div class="bar-row">'
+            f'<div class="bar-label">{_esc(cell.label)}</div>'
+            '<div class="bar-track">'
+            f'<div class="{klass}" style="left:{left:.2f}%;width:{width:.2f}%"></div>'
+            "</div>"
+            f'<div style="width:5rem;text-align:right">{cell.finished_ts - cell.started_ts:.2f}s</div>'
+            "</div>"
+        )
+    return (
+        f'<p class="note">{len(timed)} cells over {span:.2f}s of wall time.</p>'
+        + "".join(rows)
+    )
+
+
+def _decomposition_sections(status: SweepStatus) -> str:
+    sections = []
+    for cell in status.cells:
+        record = status.records.get(cell.spec_key) or {}
+        obs = (record.get("measurements") or {}).get("obs") or {}
+        dec = obs.get("decomposition") or {}
+        stages = dec.get("stages") or []
+        if not stages:
+            continue
+        rows = "".join(
+            "<tr>"
+            f"<td>{_esc(s.get('stage', '?'))}</td>"
+            f'<td class="num">{_num(s.get("queue_us"))}</td>'
+            f'<td class="num">{_num(s.get("service_us"))}</td>'
+            f'<td class="num">{_num(s.get("hold_us"))}</td>'
+            f'<td class="num">{s.get("visits", 0)}</td>'
+            "</tr>"
+            for s in stages
+        )
+        sections.append(
+            f"<h3>{_esc(cell.label)} — {dec.get('n_journeys', 0)} journeys, "
+            f"mean e2e {_num(dec.get('e2e_mean_us'))} µs</h3>"
+            '<table><thead><tr><th>stage</th><th class="num">queue µs</th>'
+            '<th class="num">service µs</th><th class="num">hold µs</th>'
+            '<th class="num">visits</th></tr></thead>'
+            f"<tbody>{rows}</tbody></table>"
+        )
+    if not sections:
+        return (
+            '<p class="note">No latency decomposition: run the sweep with '
+            "observability enabled to record per-stage journeys.</p>"
+        )
+    return "".join(sections)
+
+
+def _fault_summary(status: SweepStatus) -> str:
+    totals: Dict[str, int] = {}
+    degradations = 0
+    for record in status.records.values():
+        measurements = record.get("measurements") or {}
+        for name, count in (measurements.get("fault_counters") or {}).items():
+            totals[name] = totals.get(name, 0) + int(count)
+        degradations += len(measurements.get("degradation_events") or ())
+    if not totals and not degradations:
+        return '<p class="note">No faults fired across the matrix.</p>'
+    rows = "".join(
+        f'<tr><td>{_esc(name)}</td><td class="num">{count}</td></tr>'
+        for name, count in sorted(totals.items())
+    )
+    extra = (
+        f'<p class="note">{degradations} MFLOW degradation/readmission '
+        "transition(s) across the matrix.</p>"
+        if degradations else ""
+    )
+    return (
+        '<table><thead><tr><th>fault</th><th class="num">count</th></tr>'
+        f"</thead><tbody>{rows}</tbody></table>{extra}"
+    )
+
+
+def _bench_section(payload: Dict[str, Any]) -> str:
+    from repro.perf.bench import payload_scenario_rows
+
+    rows = []
+    for row in payload_scenario_rows(payload):
+        rate = row["events_per_sec"]
+        rows.append(
+            "<tr>"
+            f'<td>{_esc(row["name"])}</td>'
+            f'<td class="num">{_num(row["wall_ms"], "{:.1f}")}</td>'
+            f'<td class="num">{_num(rate / 1e3 if rate else None, "{:.0f}k")}</td>'
+            f'<td class="num">{_num(row["throughput_gbps"])}</td>'
+            "</tr>"
+        )
+    return (
+        f'<p class="note">BENCH payload sha {_esc(payload.get("git_sha", "?"))}, '
+        f'schema v{_esc(payload.get("schema_version", "?"))}.</p>'
+        '<table><thead><tr><th>scenario</th><th class="num">wall ms</th>'
+        '<th class="num">ev/s</th><th class="num">Gbps</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+def _fidelity_section(payload: Dict[str, Any]) -> str:
+    checks = payload.get("checks")
+    if not isinstance(checks, list):
+        return '<p class="note">Unrecognized fidelity payload layout.</p>'
+    rows = []
+    for check in checks:
+        if not isinstance(check, dict):
+            continue
+        name = check.get("name", "?")
+        band = check.get("band", check.get("status", "?"))
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(name)}</td>"
+            f"<td>{_esc(band)}</td>"
+            f'<td class="num">{_esc(check.get("measured", check.get("value", "-")))}</td>'
+            f'<td class="num">{_esc(check.get("expected", check.get("paper", "-")))}</td>'
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>check</th><th>band</th>"
+        '<th class="num">measured</th><th class="num">expected</th>'
+        f'</tr></thead><tbody>{"".join(rows)}</tbody></table>'
+    )
+
+
+def build_html(
+    statuses: Sequence[SweepStatus],
+    bench: Optional[Dict[str, Any]] = None,
+    fidelity: Optional[Dict[str, Any]] = None,
+    title: str = "repro run report",
+) -> str:
+    """The self-contained HTML document."""
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="note">report schema v{REPORT_SCHEMA_VERSION} · '
+        f"{len(statuses)} sweep(s)</p>",
+    ]
+    for status in statuses:
+        state = "finished" if status.finished else "in progress"
+        parts.append(
+            f"<h2>{_esc(status.experiment)} <small>({state}, journal schema "
+            f"v{status.journal_schema})</small></h2>"
+        )
+        parts.append(_summary_tiles(status))
+        parts.append("<h3>Run matrix</h3>")
+        parts.append(_matrix_table(status))
+        parts.append("<h3>Timeline</h3>")
+        parts.append(_timeline(status))
+        parts.append("<h3>Latency decomposition</h3>")
+        parts.append(_decomposition_sections(status))
+        parts.append("<h3>Fault summary</h3>")
+        parts.append(_fault_summary(status))
+    if bench is not None:
+        parts.append("<h2>Benchmark payload</h2>")
+        parts.append(_bench_section(bench))
+    if fidelity is not None:
+        parts.append("<h2>Paper-fidelity scoreboard</h2>")
+        parts.append(_fidelity_section(fidelity))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def build_markdown(
+    statuses: Sequence[SweepStatus],
+    bench: Optional[Dict[str, Any]] = None,
+    fidelity: Optional[Dict[str, Any]] = None,
+    title: str = "repro run report",
+) -> str:
+    """The same report as GitHub-flavored markdown."""
+    lines = [f"# {title}", ""]
+    for status in statuses:
+        counts = status.counts()
+        state = "finished" if status.finished else "in progress"
+        lines += [
+            f"## {status.experiment} ({state})",
+            "",
+            f"- cells: {status.n_specs} — "
+            + ", ".join(f"{k}={v}" for k, v in counts.items() if v),
+            f"- retries: {status.retries_total}, checkpoint restores: "
+            f"{status.checkpoint_restores_total}",
+            f"- cache hit ratio: {status.cache_hit_ratio * 100:.0f}%",
+            f"- wall time: {status.wall_time_total_s:.1f}s, aggregate "
+            f"{status.events_per_sec_aggregate / 1e3:.0f}k events/sec",
+            "",
+            "| cell | phase | att | retry | wall s | ev/s | Gbps | p99 µs |",
+            "| --- | --- | ---: | ---: | ---: | ---: | ---: | ---: |",
+        ]
+        for cell in status.cells:
+            lines.append(
+                f"| {cell.label} | {cell.phase} | {cell.attempts} | "
+                f"{cell.retries} | "
+                f"{_num(cell.wall_time_s if not cell.cached else None)} | "
+                f"{_num(cell.events_per_sec / 1e3 if cell.events_per_sec else None, '{:.0f}k')} | "
+                f"{_num(cell.throughput_gbps)} | {_num(cell.p99_us, '{:.1f}')} |"
+            )
+        lines.append("")
+    if bench is not None:
+        lines += [
+            "## Benchmark payload",
+            "",
+            f"sha `{bench.get('git_sha', '?')}`, "
+            f"schema v{bench.get('schema_version', '?')}",
+            "",
+        ]
+    if fidelity is not None:
+        lines += ["## Paper-fidelity scoreboard", ""]
+        checks = fidelity.get("checks")
+        if isinstance(checks, list):
+            lines += [
+                "| check | band |",
+                "| --- | --- |",
+            ]
+            for check in checks:
+                if isinstance(check, dict):
+                    lines.append(
+                        f"| {check.get('name', '?')} | "
+                        f"{check.get('band', check.get('status', '?'))} |"
+                    )
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(path: Path, text: str) -> Path:
+    from repro.resilience.atomic import atomic_write_text
+
+    return atomic_write_text(path, text)
+
+
+def load_json_artifact(path: Path) -> Dict[str, Any]:
+    """Best-effort load of an optional side artifact (bench/fidelity)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return data

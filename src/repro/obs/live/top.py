@@ -1,0 +1,164 @@
+"""``repro top <sweep-dir>`` — a live terminal view of a sweep.
+
+Tails the sweep's ``journal.jsonl`` (torn-tail tolerant, so watching a
+journal that is being appended to is always safe) and renders a
+refreshing table of cells: phase, attempts, retries, checkpoint
+restores, wall time, events/sec, and headline throughput once run
+records exist.  A one-line summary above the table carries the sweep
+aggregates and an ETA extrapolated from completed live cells.
+
+Two modes:
+
+* **follow** (default, a tty) — clear-and-redraw every ``interval``
+  seconds until every sweep under the directory has journaled its
+  ``sweep_end`` (or ctrl-C);
+* **``--once``** — render a single snapshot and exit; with ``--json``
+  the snapshot is the schema-versioned machine-readable status document
+  (the form a remote fleet coordinator would poll).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO, List, Optional
+
+from repro.obs.live.status import (
+    TOP_SCHEMA_VERSION,
+    SweepStatus,
+    load_statuses,
+)
+
+__all__ = ["render", "status_document", "top", "watch"]
+
+#: ANSI clear-screen + home, the whole "UI framework"
+_CLEAR = "\x1b[2J\x1b[H"
+
+_LABEL_WIDTH = 34
+
+
+def _fmt_eta(eta_s: Optional[float]) -> str:
+    if eta_s is None:
+        return "eta ?"
+    if eta_s <= 0:
+        return "done"
+    return f"eta {eta_s:.0f}s"
+
+
+def _fmt_rate(events_per_sec: float) -> str:
+    if events_per_sec <= 0:
+        return "-"
+    return f"{events_per_sec / 1e3:.0f}k"
+
+
+def _summary_line(status: SweepStatus) -> str:
+    counts = status.counts()
+    states = " ".join(
+        f"{phase}={counts[phase]}" for phase in
+        ("done", "cached", "running", "retrying", "queued", "quarantined")
+        if counts.get(phase)
+    ) or "queued=0"
+    parts = [
+        f"sweep {status.experiment}: {status.n_specs} cells  [{states}]",
+        f"retries {status.retries_total}",
+        f"cache {status.cache_hit_ratio * 100:.0f}%",
+    ]
+    if status.events_per_sec_aggregate > 0:
+        parts.append(f"{_fmt_rate(status.events_per_sec_aggregate)} ev/s")
+    if status.wall_time_total_s > 0:
+        parts.append(f"wall {status.wall_time_total_s:.1f}s")
+    parts.append("finished" if status.finished else _fmt_eta(status.eta_s()))
+    if status.torn_lines:
+        parts.append(f"torn_tail={status.torn_lines}")
+    return "  |  ".join(parts)
+
+
+def render(statuses: List[SweepStatus], now: Optional[float] = None) -> str:
+    """The full (multi-sweep) status screen as plain text."""
+    now = time.time() if now is None else now
+    blocks = []
+    for status in statuses:
+        lines = [_summary_line(status)]
+        header = (
+            f"  {'CELL':<{_LABEL_WIDTH}} {'PHASE':<11} {'ATT':>3} {'RTY':>3} "
+            f"{'CKPT':>4} {'WALL':>8} {'KEV/S':>6} {'GBPS':>6}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for cell in status.cells:
+            label = cell.label[:_LABEL_WIDTH]
+            if cell.terminal:
+                wall = f"{cell.wall_time_s:.2f}s" if not cell.cached else "-"
+            elif cell.started_ts is not None:
+                wall = f"{max(0.0, now - cell.started_ts):.1f}s…"
+            else:
+                wall = "-"
+            gbps = f"{cell.throughput_gbps:.2f}" if cell.throughput_gbps else "-"
+            lines.append(
+                f"  {label:<{_LABEL_WIDTH}} {cell.phase:<11} {cell.attempts:>3} "
+                f"{cell.retries:>3} {cell.checkpoint_restores:>4} {wall:>8} "
+                f"{_fmt_rate(cell.events_per_sec):>6} {gbps:>6}"
+            )
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
+
+
+def status_document(statuses: List[SweepStatus]) -> dict:
+    """The ``repro top --once --json`` payload."""
+    return {
+        "kind": "repro-top",
+        "schema_version": TOP_SCHEMA_VERSION,
+        "generated_ts": round(time.time(), 3),
+        "sweeps": [s.to_json_dict() for s in statuses],
+    }
+
+
+def watch(
+    path: Path,
+    interval_s: float = 1.0,
+    stream: Optional[IO[str]] = None,
+    max_refreshes: Optional[int] = None,
+) -> int:
+    """Follow mode: redraw until every sweep is finished.  Returns the
+    number of refreshes drawn (the final state is always drawn)."""
+    import sys
+
+    stream = stream if stream is not None else sys.stdout
+    refreshes = 0
+    while True:
+        statuses = load_statuses(path)
+        stream.write(_CLEAR + render(statuses) + "\n")
+        stream.flush()
+        refreshes += 1
+        if all(s.finished for s in statuses):
+            return refreshes
+        if max_refreshes is not None and refreshes >= max_refreshes:
+            return refreshes
+        time.sleep(interval_s)
+
+
+def top(
+    path: Path,
+    once: bool = False,
+    as_json: bool = False,
+    interval_s: float = 1.0,
+    stream: Optional[IO[str]] = None,
+) -> int:
+    """CLI entry: returns a process exit code (1 iff any quarantined)."""
+    import sys
+
+    stream = stream if stream is not None else sys.stdout
+    if as_json:
+        statuses = load_statuses(path)
+        stream.write(json.dumps(status_document(statuses), indent=1) + "\n")
+    elif once:
+        statuses = load_statuses(path)
+        stream.write(render(statuses) + "\n")
+    else:
+        try:
+            watch(path, interval_s=interval_s, stream=stream)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            stream.write("\n")
+        statuses = load_statuses(path)
+    return 1 if any(s.quarantined_total for s in statuses) else 0

@@ -114,6 +114,9 @@ def to_trace_events(rec: FlightRecorder, label: str = "repro") -> dict:
             "events_seen": rec.events_seen,
             "events_kept": rec.events_kept,
             "events_dropped": rec.events_dropped,
+            # False => the buffer overflowed and slices were
+            # reservoir-sampled; gaps in the tracks are sampling, not idleness
+            "complete": rec.events_dropped == 0,
         },
     }
 

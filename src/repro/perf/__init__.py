@@ -22,6 +22,7 @@ from repro.perf.bench import (
     ScenarioBench,
     bench_filename,
     bench_payload,
+    payload_scenario_rows,
     compare_payloads,
     default_matrix,
     format_results,
@@ -63,6 +64,7 @@ __all__ = [
     "git_sha",
     "intervals_overlap",
     "load_payload",
+    "payload_scenario_rows",
     "run_bench",
     "run_fidelity",
     "score",

@@ -240,6 +240,30 @@ def load_payload(path: Path) -> Dict[str, Any]:
     return payload
 
 
+def payload_scenario_rows(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-scenario headline numbers from a BENCH payload, sorted by name.
+
+    The normalized view consumers render (`repro report`, ad-hoc
+    dashboards): missing stats come back as ``None`` rather than raising,
+    so partially-filled payloads still display.
+    """
+    rows: List[Dict[str, Any]] = []
+    for name, scenario in sorted(payload.get("scenarios", {}).items()):
+        if not isinstance(scenario, dict):
+            continue
+        wall = (scenario.get("wall_s") or {}).get("mean")
+        rate = (scenario.get("events_per_sec") or {}).get("mean")
+        rows.append(
+            {
+                "name": name,
+                "wall_ms": wall * 1e3 if wall else None,
+                "events_per_sec": rate if rate else None,
+                "throughput_gbps": scenario.get("throughput_gbps"),
+            }
+        )
+    return rows
+
+
 # -------------------------------------------------------------------- compare
 @dataclass
 class MetricDelta:

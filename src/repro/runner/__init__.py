@@ -7,7 +7,9 @@ each experiment module's pure ``reduce``.  See ``docs/RUNNER.md``.
 
 from repro.runner.cache import ResultCache, code_version
 from repro.runner.engine import (
+    CELL_PHASES,
     DEFAULT_TIMEOUT_S,
+    JOURNAL_SCHEMA_VERSION,
     EngineEvent,
     RunEngine,
     RunFailure,
@@ -24,8 +26,10 @@ from repro.runner.registry import FACTORIES, register, resolve
 from repro.runner.spec import RunSpec, canonical_params
 
 __all__ = [
+    "CELL_PHASES",
     "DEFAULT_TIMEOUT_S",
     "EngineEvent",
+    "JOURNAL_SCHEMA_VERSION",
     "FACTORIES",
     "ResultCache",
     "RunEngine",

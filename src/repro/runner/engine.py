@@ -40,7 +40,7 @@ from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.resilience.atomic import append_jsonl, atomic_write_json
+from repro.resilience.atomic import append_jsonl, atomic_write_json, read_jsonl
 from repro.runner.cache import ResultCache, code_version
 from repro.runner.records import RunRecord
 from repro.runner.registry import resolve
@@ -56,7 +56,34 @@ DEFAULT_BACKOFF_CAP_S = 30.0
 SWEEP_SCHEMA_VERSION = 1
 SWEEP_KIND = "repro-sweep"
 
+#: journal.jsonl schema.  v2 adds to every entry a monotone ``seq`` (so a
+#: tailing reader can detect gaps and order entries without trusting file
+#: position), a wall-clock ``ts`` (epoch seconds), a lifecycle ``phase``
+#: (``queued/running/retrying/quarantined/done/cached``), ``spec_start``
+#: entries when a cell begins executing, and a ``progress`` payload on
+#: completion entries (events executed, sim-time, events/sec — plus the
+#: SelfProfiler rate when that instrumentation was on).  v1 journals
+#: (no seq/ts/phase) remain readable by every consumer.
+JOURNAL_SCHEMA_VERSION = 2
+
+#: lifecycle phases a sweep cell moves through (journal ``phase`` values)
+CELL_PHASES = ("queued", "running", "retrying", "quarantined", "done", "cached")
+
 ProgressFn = Callable[[int, int, RunRecord], None]
+
+
+def _next_journal_seq(path: Path) -> int:
+    """First unused ``seq`` for a journal — continues the monotone
+    sequence across resumed sweeps (v1 entries without ``seq`` count as
+    position-only and are simply skipped over)."""
+    if not path.exists():
+        return 0
+    entries, _ = read_jsonl(path)
+    highest = -1
+    for entry in entries:
+        if isinstance(entry, dict) and isinstance(entry.get("seq"), int):
+            highest = max(highest, entry["seq"])
+    return highest + 1
 
 
 class RunFailure(RuntimeError):
@@ -178,6 +205,7 @@ class RunEngine:
         self.quarantined: List[str] = []
         self._retry_hist: Dict[int, List[Dict[str, Any]]] = {}
         self._journal_path: Optional[Path] = None
+        self._journal_seq = 0
 
     # ----------------------------------------------------------------- API
     def run(self, experiment: str, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -289,6 +317,7 @@ class RunEngine:
         ckpt = self._checkpoint_cfg()
         for attempt in range(self.retries + 1):
             try:
+                self._journal_spec_start(spec, attempt)
                 started = time.perf_counter()
                 measurements, restores = _execute_scoped(
                     spec, record.seed, attempt, ckpt
@@ -358,6 +387,7 @@ class RunEngine:
                         daemon=True,
                     )
                     proc.start()
+                    self._journal_spec_start(spec, attempt)
                     child_conn.close()  # ours closes so worker exit yields EOF
                     timeout = self._effective_timeout(spec)
                     deadline = time.monotonic() + timeout if timeout else None
@@ -439,18 +469,17 @@ class RunEngine:
     ) -> None:
         event = EngineEvent(spec.key, kind, attempt, detail, backoff_s)
         self.events.append(event)
-        if self._journal_path is not None:
-            append_jsonl(
-                self._journal_path,
-                {
-                    "kind": "event",
-                    "spec_key": event.spec_key,
-                    "event": event.kind,
-                    "attempt": event.attempt,
-                    "backoff_s": event.backoff_s,
-                },
-                durable=False,
-            )
+        entry = {
+            "kind": "event",
+            "spec_key": event.spec_key,
+            "event": event.kind,
+            "attempt": event.attempt,
+            "backoff_s": event.backoff_s,
+        }
+        phase = {"retry": "retrying", "failed": "quarantined"}.get(kind)
+        if phase is not None:
+            entry["phase"] = phase
+        self._journal_emit(entry, durable=False)
 
     def _emit_progress(self, done: int, total: int, record: RunRecord) -> None:
         if self.progress is not None:
@@ -483,31 +512,62 @@ class RunEngine:
             },
         )
         self._journal_path = out_dir / "journal.jsonl"
-        append_jsonl(
-            self._journal_path,
+        self._journal_seq = _next_journal_seq(self._journal_path)
+        self._journal_emit(
             {
                 "kind": "sweep_start",
                 "experiment": experiment,
                 "n_specs": len(specs),
                 "global_seed": self.global_seed,
                 "code_version": version,
-                "ts": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                "journal_schema": JOURNAL_SCHEMA_VERSION,
             },
         )
 
-    def _journal(self, kind: str, record: RunRecord) -> None:
+    def _journal_emit(self, entry: Dict[str, Any], durable: bool = True) -> None:
+        """Append one journal entry, stamping the v2 ``seq``/``ts`` pair.
+
+        The engine is the journal's only writer (workers report over
+        pipes), so the in-process counter is globally monotone; appends
+        go through :func:`append_jsonl` so tailing readers never see a
+        torn line except, transiently, the very last one.
+        """
         if self._journal_path is None:
             return
-        append_jsonl(
-            self._journal_path,
+        entry["seq"] = self._journal_seq
+        entry["ts"] = round(time.time(), 6)
+        self._journal_seq += 1
+        append_jsonl(self._journal_path, entry, durable=durable)
+
+    def _journal_spec_start(self, spec: RunSpec, attempt: int) -> None:
+        self._journal_emit(
+            {
+                "kind": "spec_start",
+                "spec_key": spec.key,
+                "attempt": attempt,
+                "phase": "running",
+            },
+            durable=False,
+        )
+
+    def _journal(self, kind: str, record: RunRecord) -> None:
+        if record.cached:
+            phase = "cached"
+        elif record.ok:
+            phase = "done"
+        else:
+            phase = "quarantined"
+        self._journal_emit(
             {
                 "kind": kind,
                 "spec_key": record.spec_key,
+                "phase": phase,
                 "ok": record.ok,
                 "cached": record.cached,
                 "attempts": record.attempts,
                 "checkpoint_restores": record.checkpoint_restores,
                 "wall_time_s": round(record.wall_time_s, 4),
+                "progress": record.progress_payload(),
             },
             durable=False,
         )
@@ -563,16 +623,14 @@ class RunEngine:
             ],
         }
         atomic_write_json(out_dir / "manifest.json", manifest)
-        if self._journal_path is not None:
-            append_jsonl(
-                self._journal_path,
-                {
-                    "kind": "sweep_end",
-                    "n_specs": len(specs),
-                    "failed": sum(1 for r in records if not r.ok),
-                    "quarantined": len(self.quarantined),
-                },
-            )
+        self._journal_emit(
+            {
+                "kind": "sweep_end",
+                "n_specs": len(specs),
+                "failed": sum(1 for r in records if not r.ok),
+                "quarantined": len(self.quarantined),
+            },
+        )
 
 
 def run_specs(

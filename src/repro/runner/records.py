@@ -144,6 +144,26 @@ class RunRecord:
         assert self.measurements is not None
         return latency_from_dict(self.measurements["latency"])
 
+    def progress_payload(self) -> Dict[str, Any]:
+        """The completion progress block journaled on v2 ``spec`` entries.
+
+        Consumed by ``repro top`` / ``repro metrics`` via the journal, so
+        keys here are part of the journal schema (see OBSERVABILITY.md).
+        """
+        progress: Dict[str, Any] = {
+            "events_executed": self.events_executed,
+            "events_per_sec": round(self.events_per_sec, 1),
+        }
+        measurements = self.measurements or {}
+        if measurements.get("window_ns"):
+            progress["sim_ns"] = measurements["window_ns"]
+        selfprof = measurements.get("selfprof") or {}
+        if selfprof.get("events_per_sec"):
+            progress["selfprof_events_per_sec"] = round(
+                selfprof["events_per_sec"], 1
+            )
+        return progress
+
     # -------------------------------------------------------------- JSON IO
     def to_json_dict(self) -> Dict[str, Any]:
         return asdict(self)
