@@ -19,6 +19,7 @@
     python -m repro top        results/fig8 --once --json
     python -m repro metrics    results/fig8 --out sweep.prom
     python -m repro report     results/ --out report.html
+    python -m repro diff       results/fig8-main results/fig8-branch
 
 Every subcommand prints a small table; ``compare`` adds an ASCII bar
 chart; ``trace`` runs one instrumented scenario and exports flight-
@@ -34,7 +35,10 @@ sweep from its ``sweep.json`` + result cache + simulator checkpoints;
 salvageable, or corrupt (:mod:`repro.resilience`).  ``top``, ``metrics``
 and ``report`` are the sweep-telemetry readers (:mod:`repro.obs.live`):
 a live journal-tailing status view, an OpenMetrics exporter, and a
-self-contained HTML/markdown run report.
+self-contained HTML/markdown run report.  ``diff`` compares the exact
+stage histograms of two runs/sweeps/bench payloads and prints a ranked
+regression attribution (:mod:`repro.obs.diff`), exiting 1 when a
+significant latency regression survives the CI-overlap test.
 """
 
 from __future__ import annotations
@@ -484,8 +488,47 @@ def cmd_bench(args) -> int:
         )
         print()
         print(report.report())
+        if not report.ok:
+            _emit_bench_diff(payload, baseline, str(out_path))
         return report.exit_code()
     return 0
+
+
+def _emit_bench_diff(payload: dict, baseline: dict, out_path: str) -> None:
+    """On a failed ``--compare`` gate, attribute the regression by stage.
+
+    Both payloads carry exact per-stage histograms (when run with
+    ``hist`` on), so a wall-clock regression can be decomposed into which
+    pipeline stages' simulated work shifted — printed inline and written
+    next to the BENCH payload for CI artifact upload.  Best-effort: a
+    baseline predating histograms just skips the attribution.
+    """
+    from repro.obs.diff import diff_payloads
+    from repro.obs.hist import merge_payloads
+
+    def merged(doc: dict):
+        hists = [
+            s["hist"] for _, s in sorted(doc.get("scenarios", {}).items())
+            if isinstance(s, dict) and s.get("hist")
+        ]
+        return merge_payloads(hists) if hists else None
+
+    base_hist, cur_hist = merged(baseline), merged(payload)
+    if base_hist is None or cur_hist is None:
+        print("\n(no stage attribution: one side carries no histograms)")
+        return
+    diff = diff_payloads(
+        base_hist, cur_hist,
+        label_a=f"baseline {baseline.get('git_sha', '?')}",
+        label_b=f"current {payload.get('git_sha', '?')}",
+    )
+    print()
+    print(diff.report())
+    from repro.resilience.atomic import atomic_write_json, atomic_write_text
+
+    atomic_write_text(out_path + ".diff.md", diff.report() + "\n")
+    atomic_write_json(out_path + ".diff.json", diff.to_json_dict())
+    print(f"\nwrote {out_path}.diff.md / .diff.json (stage attribution)")
 
 
 def cmd_fidelity(args) -> int:
@@ -607,19 +650,57 @@ def cmd_report(args) -> int:
         fidelity = (
             load_json_artifact(Path(args.fidelity)) if args.fidelity else None
         )
+        diff = load_json_artifact(Path(args.diff)) if args.diff else None
     except (OSError, ValueError) as exc:
         raise SystemExit(str(exc))
     title = args.title or (
         "repro run report — " + ", ".join(s.experiment for s in statuses)
     )
     build = build_markdown if args.markdown else build_html
-    text = build(statuses, bench=bench, fidelity=fidelity, title=title)
+    text = build(statuses, bench=bench, fidelity=fidelity, diff=diff, title=title)
     if args.out:
         write_report(Path(args.out), text)
         print(f"wrote {args.out} ({len(statuses)} sweep(s))")
     else:
         sys.stdout.write(text)
     return 0
+
+
+def cmd_diff(args) -> int:
+    """Stage-histogram regression attribution between two hist sources."""
+    from pathlib import Path
+
+    from repro.obs.diff import diff_sources, load_hist_source
+
+    try:
+        source_a = load_hist_source(Path(args.a))
+        source_b = load_hist_source(Path(args.b))
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        raise SystemExit(str(exc))
+    diff = diff_sources(
+        source_a, source_b, tolerance=args.tol, seed=args.seed
+    )
+    if args.json_out:
+        from repro.resilience.atomic import atomic_write_json
+
+        atomic_write_json(args.json_out, diff.to_json_dict())
+    if args.md_out:
+        from repro.resilience.atomic import atomic_write_text
+
+        atomic_write_text(args.md_out, diff.report() + "\n")
+    if args.json:
+        print(json.dumps(diff.to_json_dict(), indent=1))
+    else:
+        print(
+            f"A: {source_a.label} ({source_a.kind}, "
+            f"{source_a.n_merged} hist payload(s) merged)"
+        )
+        print(
+            f"B: {source_b.label} ({source_b.kind}, "
+            f"{source_b.n_merged} hist payload(s) merged)\n"
+        )
+        print(diff.report())
+    return diff.exit_code()
 
 
 def cmd_ceilings(args) -> int:
@@ -852,8 +933,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--fidelity", metavar="FIDELITY_JSON", default=None,
         help="embed a fidelity scoreboard JSON (repro fidelity --json-out)",
     )
+    p.add_argument(
+        "--diff", metavar="DIFF_JSON", default=None,
+        help="embed a stage-attribution diff JSON (repro diff --json-out)",
+    )
     p.add_argument("--title", default=None, help="report title override")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "diff",
+        help="stage-histogram latency attribution between two runs/sweeps",
+    )
+    p.add_argument(
+        "a", help="baseline: run-record JSON, sweep dir, or BENCH_<sha>.json"
+    )
+    p.add_argument(
+        "b", help="candidate: run-record JSON, sweep dir, or BENCH_<sha>.json"
+    )
+    p.add_argument(
+        "--tol", type=float, default=0.02,
+        help="relative mean-shift tolerance beyond CI overlap (default 0.02)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="bootstrap resampling seed")
+    p.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="also write the attribution as JSON (atomically)",
+    )
+    p.add_argument(
+        "--md-out", metavar="PATH", default=None,
+        help="also write the attribution as markdown (atomically)",
+    )
+    p.add_argument("--json", action="store_true", help="print JSON instead of the table")
+    p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser("ceilings", help="analytic bottleneck upper bounds")
     p.add_argument("--proto", choices=["tcp", "udp"], default="tcp")

@@ -81,9 +81,16 @@ class Core:
         self._item_pool: list = []
         #: optional FlightRecorder — None (the default) disables all probes
         self.obs = None
+        #: optional StageHistograms (repro.obs.hist) — exact latency counts
+        self.hist = None
         #: (start_ns, end_ns) of the work item currently completing; only
         #: maintained while obs is attached (read by the journey tracker)
         self.last_span = None
+        #: scalar twins of last_span, maintained while hist is attached
+        #: (read by the pipeline's record path; scalars, so the per-item
+        #: bookkeeping allocates nothing)
+        self.span_start = 0.0
+        self.span_end = 0.0
 
     # --------------------------------------------------------------- submit
     def submit(self, item: WorkItem) -> None:
@@ -156,7 +163,21 @@ class Core:
         busy = self.busy_ns
         busy[tag] = busy.get(tag, 0.0) + duration
         self.items_executed += 1
-        if self.obs is not None:
+        hist = self.hist
+        if hist is not None:
+            now = self.sim._now
+            start = now - duration
+            self.span_start = start
+            self.span_end = now
+            if tag not in hist.stage_names:
+                # system work (irq/driver_poll/softirq/ipi/steer_dispatch);
+                # datapath stages are recorded by the pipeline instead,
+                # with queue delay and flow class attached
+                hist.record_core(tag, self.id, duration)
+            if self.obs is not None:
+                self.last_span = (start, now)
+                self.obs.span(tag, start, now, core=self.id)
+        elif self.obs is not None:
             now = self.sim._now
             start = now - duration
             self.last_span = (start, now)

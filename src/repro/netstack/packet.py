@@ -119,6 +119,7 @@ class Skb:
         "branch",
         "flow_serial",
         "alloc_ts",
+        "q_ts",
         "trace_id",
         "gen",
     )
@@ -132,6 +133,9 @@ class Skb:
         self.branch: Optional[int] = None
         self.flow_serial: Optional[int] = None
         self.alloc_ts: float = 0.0
+        #: dispatch timestamp of the hop currently charging this skb; the
+        #: stage-histogram queue delay is (execution start - q_ts)
+        self.q_ts: float = 0.0
         # observability identity: assigned monotonically on first touch by
         # PathTracer / JourneyTracker (never id(skb) — ids are reused)
         self.trace_id: Optional[int] = None

@@ -83,6 +83,9 @@ class Pipeline:
         self.obs = None
         #: optional JourneyTracker for latency decomposition (None = off)
         self.journeys = None
+        #: optional StageHistograms — exact per-hop latency counts
+        #: (see repro.obs.hist; recording never perturbs the timeline)
+        self.hist = None
         #: reused execution context handed to every Stage.process call
         self._ctx = StageContext(self, None, None)
         #: recycled datapath skbs (see alloc_skb/recycle_skb)
@@ -103,6 +106,7 @@ class Pipeline:
             skb.branch = None
             skb.flow_serial = None
             skb.alloc_ts = 0.0
+            skb.q_ts = 0.0
             skb.trace_id = None
             return skb
         return Skb([pkt])
@@ -212,16 +216,23 @@ class Pipeline:
             return
         if self.journeys is not None:
             self.journeys.on_enqueue(skb, stage.name, core.id, self.sim.now)
+        skb.q_ts = self.sim._now
         if front:
             core.submit_front_call(stage.name, cost, self._run_stage, node, skb, core)
         else:
             core.submit_call(stage.name, cost, self._run_stage, node, skb, core)
 
     def _run_stage(self, node: StageNode, skb: Skb, core: Core) -> None:
+        hist = self.hist
+        if hist is not None:
+            # the work item charging this stage just completed on `core`;
+            # its span scalars are the hop's execution window
+            hist.record_stage(
+                node.stage.name, core.id, skb.flow.proto,
+                core.span_start - skb.q_ts, core.span_end - core.span_start,
+            )
         journeys = self.journeys
         if journeys is not None and core.last_span is not None:
-            # the work item charging this stage just completed on `core`;
-            # its measured span is the hop's (start, end)
             journeys.on_execute(skb, node.stage.name, *core.last_span)
         ctx = self._ctx
         ctx.node = node

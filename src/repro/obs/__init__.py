@@ -18,6 +18,10 @@ the same power as a first-class subsystem:
 * :mod:`repro.obs.decompose` — per-packet critical-path journeys split
   into per-stage queueing vs service vs hold (GRO hold / merge wait),
   reproducing the Fig. 5/6 latency-attribution analysis.
+* :mod:`repro.obs.hist` — always-on exact per-stage latency histograms
+  (deterministic log-bucketed counts per stage × core × flow class) with
+  a lossless merge algebra; the substrate for ``repro diff`` regression
+  attribution (:mod:`repro.obs.diff`).
 
 **Zero cost when disabled.**  Components hold an ``obs`` reference that
 is ``None`` by default; hot paths guard every probe with a single
@@ -28,6 +32,14 @@ keys are bit-identical to an uninstrumented build.
 
 from repro.obs.config import ObsConfig, resolve_obs
 from repro.obs.decompose import Decomposition, JourneyTracker, decompose
+from repro.obs.hist import (
+    HistConfig,
+    LatencyHistogram,
+    StageHistograms,
+    merge_payloads,
+    resolve_hist,
+    stage_rollup,
+)
 from repro.obs.perfetto import to_trace_events, write_trace
 from repro.obs.recorder import Event, FlightRecorder
 from repro.obs.timeseries import IntervalMetrics
@@ -35,6 +47,12 @@ from repro.obs.timeseries import IntervalMetrics
 __all__ = [
     "ObsConfig",
     "resolve_obs",
+    "HistConfig",
+    "LatencyHistogram",
+    "StageHistograms",
+    "merge_payloads",
+    "resolve_hist",
+    "stage_rollup",
     "FlightRecorder",
     "Event",
     "IntervalMetrics",

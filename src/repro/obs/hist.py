@@ -1,0 +1,478 @@
+"""Always-on, exactly-mergeable per-stage latency histograms.
+
+The flight recorder's journey decomposition (:mod:`repro.obs.decompose`)
+is *sampled* — reservoir-bounded and off by default.  This module is the
+complementary instrument: HdrHistogram-style log-bucketed latency
+histograms recorded on **every** datapath hop, per ``(stage, core,
+flow-class)``, cheap enough to leave on always.
+
+Design constraints, in order:
+
+* **Deterministic and inert.**  Recording draws no randomness and
+  schedules no events, so an instrumented run's simulated timeline is
+  bit-identical to an uninstrumented one; disabling histograms
+  (``hist=False``) removes the payload without changing any measurement.
+* **Exactly mergeable.**  The bucket geometry is a fixed module-level
+  constant (never a per-run parameter), so histograms from different
+  cores, sweep cells, repetitions, and resumed runs can be merged by
+  plain bucket-wise integer addition.  All aggregates (``count``,
+  ``sum_ns``, ``min_ns``, ``max_ns``) are integers — integer addition is
+  associative and commutative, so merge order can never change a byte of
+  the serialized result.
+* **Zero-allocation record path.**  Counts live in preallocated integer
+  arrays; the record path performs dict lookups and integer arithmetic
+  only — no per-packet objects, tuples, or strings are created.
+
+Bucket geometry (log-linear, HdrHistogram style)
+------------------------------------------------
+
+Values are integer simulated nanoseconds (floored).  The first
+``LINEAR_MAX = 32`` buckets are exact (one per nanosecond); past that,
+each power-of-two octave is split into 16 linear sub-buckets, giving a
+worst-case relative error of ``1/16`` (~6%, ~3% at the midpoint) at any
+magnitude.  960 buckets cover the full 63-bit range::
+
+    v < 32:  index = v
+    else:    k = bit_length(v) - 5          # octave beyond the linear zone
+             index = 16*k + (v >> k)        # v >> k is in [16, 31]
+
+The inverse (:func:`bucket_bounds`) recovers the half-open value range
+``[lo, hi)`` of a bucket.  Geometry constants are serialized alongside
+the counts so a reader can verify compatibility before merging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "HIST_SCHEMA_VERSION",
+    "LINEAR_MAX",
+    "N_BUCKETS",
+    "SUB_BUCKETS",
+    "HistConfig",
+    "LatencyHistogram",
+    "StageHistograms",
+    "bucket_bounds",
+    "bucket_index",
+    "bucket_mid",
+    "merge_payloads",
+    "merge_series",
+    "resolve_hist",
+    "series_mean_ns",
+    "series_quantile_ns",
+    "series_samples",
+    "stage_rollup",
+]
+
+#: bump when the serialized payload layout changes incompatibly
+HIST_SCHEMA_VERSION = 1
+
+#: exact 1-ns buckets below this value
+LINEAR_MAX = 32
+#: linear sub-buckets per power-of-two octave past the linear zone
+SUB_BUCKETS = 16
+#: total buckets; covers every value up to 2**63 - 1
+N_BUCKETS = 960
+
+_SENTINEL_MIN = (1 << 63) - 1
+
+
+def bucket_index(v: int) -> int:
+    """Bucket index of integer nanosecond value ``v`` (clamped at 0)."""
+    if v < LINEAR_MAX:
+        return v if v > 0 else 0
+    k = v.bit_length() - 5
+    return (k << 4) + (v >> k)
+
+
+def bucket_bounds(index: int) -> Tuple[int, int]:
+    """Half-open value range ``[lo, hi)`` covered by bucket ``index``."""
+    if not 0 <= index < N_BUCKETS:
+        raise ValueError(f"bucket index out of range: {index}")
+    if index < LINEAR_MAX:
+        return (index, index + 1)
+    k = (index >> 4) - 1
+    m = (index & 15) + SUB_BUCKETS
+    return (m << k, (m + 1) << k)
+
+
+def bucket_mid(index: int) -> int:
+    """Representative (midpoint) value of bucket ``index``."""
+    lo, hi = bucket_bounds(index)
+    return (lo + hi - 1) >> 1 if hi - lo > 1 else lo
+
+
+# ------------------------------------------------------------- configuration
+HistConfigLike = Union[None, bool, Mapping[str, Any], "HistConfig"]
+
+
+@dataclass(frozen=True)
+class HistConfig:
+    """Knobs for the always-on stage histograms.
+
+    Mirrors :class:`repro.obs.config.ObsConfig`: spec-embeddable as a
+    plain dict, and an ``enabled=False`` config resolves to ``None`` so a
+    disabled config threaded through a spec cannot perturb the run.
+    """
+
+    #: master switch; ``False`` resolves to no histograms at all
+    enabled: bool = True
+    #: also record system (non-stage) work: irq, driver polls, softirq
+    #: entries, IPIs, steering dispatch
+    core_tags: bool = True
+
+    def validate(self) -> None:  # geometry is fixed; nothing else to check
+        return None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+def resolve_hist(hist: HistConfigLike) -> Optional[HistConfig]:
+    """Normalize any accepted ``hist=`` value to ``HistConfig`` or ``None``.
+
+    ``True`` (the scenario default — histograms are *always on* unless
+    explicitly disabled) resolves to the default config; ``None`` /
+    ``False`` / ``{"enabled": False}`` resolve to ``None``.
+    """
+    if hist is None or hist is False:
+        return None
+    if hist is True:
+        cfg = HistConfig()
+    elif isinstance(hist, HistConfig):
+        cfg = hist
+    elif isinstance(hist, Mapping):
+        cfg = HistConfig(**dict(hist))
+    else:
+        raise TypeError(
+            f"cannot resolve hist config from {type(hist).__name__}: {hist!r}"
+        )
+    if not cfg.enabled:
+        return None
+    cfg.validate()
+    return cfg
+
+
+# ---------------------------------------------------------------- histograms
+class LatencyHistogram:
+    """One latency distribution: preallocated counts + exact aggregates."""
+
+    __slots__ = ("counts", "count", "sum_ns", "min_ns", "max_ns")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * N_BUCKETS
+        self.count = 0
+        self.sum_ns = 0
+        self.min_ns = _SENTINEL_MIN
+        self.max_ns = 0
+
+    def record(self, value_ns: float) -> None:
+        """Record one value (float sim-ns, floored to integer ns)."""
+        v = int(value_ns)
+        if v < LINEAR_MAX:
+            if v < 0:
+                v = 0
+            idx = v
+        else:
+            k = v.bit_length() - 5
+            idx = (k << 4) + (v >> k)
+        self.counts[idx] += 1
+        self.count += 1
+        self.sum_ns += v
+        if v < self.min_ns:
+            self.min_ns = v
+        if v > self.max_ns:
+            self.max_ns = v
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Sparse, JSON-safe, merge-order-invariant serialization."""
+        counts = self.counts
+        return {
+            "count": self.count,
+            "sum_ns": self.sum_ns,
+            "min_ns": self.min_ns if self.count else 0,
+            "max_ns": self.max_ns,
+            "buckets": [[i, c] for i, c in enumerate(counts) if c],
+        }
+
+
+class StageHistograms:
+    """Every histogram family of one run.
+
+    Two families:
+
+    * ``stages`` — per ``(stage, core, flow-class)``, a *queue* histogram
+      (run-queue wait between dispatch and execution start) and a
+      *service* histogram (the work item's execution span, jitter and
+      handoff penalty included), recorded by the pipeline on every hop;
+    * ``cores`` — per ``(tag, core)`` service histograms for system work
+      that is not a datapath stage (``irq:*``, ``driver_poll:*``,
+      ``softirq:*``, ``ipi:*``, ``steer_dispatch``), recorded by the
+      core's completion path.
+
+    The object is pickled inside simulator checkpoints with the rest of
+    the scenario graph, so a killed-and-resumed run carries its exact
+    counts forward.
+    """
+
+    def __init__(self, config: Optional[HistConfig] = None):
+        self.config = config if config is not None else HistConfig()
+        #: stage-name set the pipeline claims; the core path skips these
+        #: so stage work is never double-counted into the core family
+        self.stage_names: frozenset = frozenset()
+        # stage -> core_id -> flow_class -> [queue_hist, service_hist]
+        self._stages: Dict[str, Dict[int, Dict[str, List[LatencyHistogram]]]] = {}
+        # tag -> core_id -> service_hist
+        self._cores: Dict[str, Dict[int, LatencyHistogram]] = {}
+
+    # ------------------------------------------------------------ recording
+    def record_stage(
+        self, stage: str, core_id: int, flow_class: str,
+        queue_ns: float, service_ns: float,
+    ) -> None:
+        """One executed hop (hot path: lookups + integer math only)."""
+        by_core = self._stages.get(stage)
+        if by_core is None:
+            by_core = self._stages[stage] = {}
+        by_class = by_core.get(core_id)
+        if by_class is None:
+            by_class = by_core[core_id] = {}
+        pair = by_class.get(flow_class)
+        if pair is None:
+            pair = by_class[flow_class] = [LatencyHistogram(), LatencyHistogram()]
+        pair[0].record(queue_ns)
+        pair[1].record(service_ns)
+
+    def record_core(self, tag: str, core_id: int, service_ns: float) -> None:
+        """One completed non-stage work item."""
+        if not self.config.core_tags:
+            return
+        by_core = self._cores.get(tag)
+        if by_core is None:
+            by_core = self._cores[tag] = {}
+        hist = by_core.get(core_id)
+        if hist is None:
+            hist = by_core[core_id] = LatencyHistogram()
+        hist.record(service_ns)
+
+    # --------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        """The run-record / checkpoint payload, keys sorted for stability."""
+        stages: Dict[str, Any] = {}
+        for stage in sorted(self._stages):
+            by_core = self._stages[stage]
+            stages[stage] = {
+                str(core_id): {
+                    flow_class: {
+                        "queue": pair[0].to_dict(),
+                        "service": pair[1].to_dict(),
+                    }
+                    for flow_class, pair in sorted(by_core[core_id].items())
+                }
+                for core_id in sorted(by_core)
+            }
+        cores: Dict[str, Any] = {}
+        for tag in sorted(self._cores):
+            by_core = self._cores[tag]
+            cores[tag] = {
+                str(core_id): by_core[core_id].to_dict()
+                for core_id in sorted(by_core)
+            }
+        return {
+            "schema": HIST_SCHEMA_VERSION,
+            "geometry": {
+                "linear_max": LINEAR_MAX,
+                "sub_buckets": SUB_BUCKETS,
+                "n_buckets": N_BUCKETS,
+            },
+            "config": self.config.to_dict(),
+            "stages": stages,
+            "cores": cores,
+        }
+
+
+# ------------------------------------------------------- payload-level algebra
+def _check_geometry(payload: Mapping[str, Any]) -> None:
+    geo = payload.get("geometry") or {}
+    mine = {
+        "linear_max": LINEAR_MAX,
+        "sub_buckets": SUB_BUCKETS,
+        "n_buckets": N_BUCKETS,
+    }
+    if {k: geo.get(k) for k in mine} != mine:
+        raise ValueError(f"incompatible histogram geometry: {geo!r}")
+
+
+def _empty_series() -> Dict[str, Any]:
+    return {"count": 0, "sum_ns": 0, "min_ns": 0, "max_ns": 0, "buckets": []}
+
+
+def merge_series(series: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Bucket-wise sum of serialized histogram series (exact, any order)."""
+    counts: Dict[int, int] = {}
+    count = 0
+    sum_ns = 0
+    min_ns = _SENTINEL_MIN
+    max_ns = 0
+    for ser in series:
+        n = int(ser.get("count", 0))
+        if n == 0:
+            continue
+        count += n
+        sum_ns += int(ser.get("sum_ns", 0))
+        min_ns = min(min_ns, int(ser.get("min_ns", 0)))
+        max_ns = max(max_ns, int(ser.get("max_ns", 0)))
+        for idx, c in ser.get("buckets", ()):
+            counts[idx] = counts.get(idx, 0) + int(c)
+    if count == 0:
+        return _empty_series()
+    return {
+        "count": count,
+        "sum_ns": sum_ns,
+        "min_ns": min_ns,
+        "max_ns": max_ns,
+        "buckets": [[i, counts[i]] for i in sorted(counts)],
+    }
+
+
+def merge_payloads(payloads: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Merge whole ``StageHistograms.to_dict()`` payloads (cells, reps,
+    resumed halves) into one; byte-identical regardless of input order."""
+    stage_acc: Dict[str, Dict[str, Dict[str, List[Dict[str, Any]]]]] = {}
+    core_acc: Dict[str, Dict[str, List[Dict[str, Any]]]] = {}
+    config: Dict[str, Any] = {}
+    seen = 0
+    for payload in payloads:
+        if not payload:
+            continue
+        _check_geometry(payload)
+        seen += 1
+        if not config:
+            config = dict(payload.get("config") or {})
+        for stage, by_core in (payload.get("stages") or {}).items():
+            s = stage_acc.setdefault(stage, {})
+            for core_id, by_class in by_core.items():
+                c = s.setdefault(core_id, {})
+                for flow_class, kinds in by_class.items():
+                    k = c.setdefault(flow_class, {"queue": [], "service": []})
+                    k["queue"].append(kinds.get("queue") or _empty_series())
+                    k["service"].append(kinds.get("service") or _empty_series())
+        for tag, by_core in (payload.get("cores") or {}).items():
+            t = core_acc.setdefault(tag, {})
+            for core_id, ser in by_core.items():
+                t.setdefault(core_id, []).append(ser)
+    if seen == 0:
+        raise ValueError("no histogram payloads to merge")
+    return {
+        "schema": HIST_SCHEMA_VERSION,
+        "geometry": {
+            "linear_max": LINEAR_MAX,
+            "sub_buckets": SUB_BUCKETS,
+            "n_buckets": N_BUCKETS,
+        },
+        "config": config,
+        "stages": {
+            stage: {
+                core_id: {
+                    flow_class: {
+                        "queue": merge_series(k["queue"]),
+                        "service": merge_series(k["service"]),
+                    }
+                    for flow_class, k in sorted(stage_acc[stage][core_id].items())
+                }
+                for core_id in sorted(stage_acc[stage], key=int)
+            }
+            for stage in sorted(stage_acc)
+        },
+        "cores": {
+            tag: {
+                core_id: merge_series(sers)
+                for core_id, sers in sorted(core_acc[tag].items(), key=lambda kv: int(kv[0]))
+            }
+            for tag in sorted(core_acc)
+        },
+    }
+
+
+def stage_rollup(payload: Mapping[str, Any]) -> Dict[str, Dict[str, Dict[str, Any]]]:
+    """Collapse cores and flow classes: ``{stage: {queue, service}}``.
+
+    Includes the core-tag family as pseudo-stages (their tag names never
+    collide with datapath stage names), each with an empty queue series —
+    so a diff over the rollup sees softirq/IRQ/IPI work too.
+    """
+    _check_geometry(payload)
+    out: Dict[str, Dict[str, Dict[str, Any]]] = {}
+    for stage, by_core in (payload.get("stages") or {}).items():
+        queues: List[Mapping[str, Any]] = []
+        services: List[Mapping[str, Any]] = []
+        for by_class in by_core.values():
+            for kinds in by_class.values():
+                queues.append(kinds.get("queue") or _empty_series())
+                services.append(kinds.get("service") or _empty_series())
+        out[stage] = {
+            "queue": merge_series(queues),
+            "service": merge_series(services),
+        }
+    for tag, by_core in (payload.get("cores") or {}).items():
+        out[tag] = {
+            "queue": _empty_series(),
+            "service": merge_series(by_core.values()),
+        }
+    return out
+
+
+# -------------------------------------------------------------- series maths
+def series_mean_ns(series: Mapping[str, Any]) -> float:
+    """Exact mean (from the integer sum, not the quantized buckets)."""
+    n = int(series.get("count", 0))
+    return int(series.get("sum_ns", 0)) / n if n else 0.0
+
+
+def series_quantile_ns(series: Mapping[str, Any], q: float) -> int:
+    """Value at quantile ``q`` (bucket-midpoint resolution, exact at the
+    recorded ``min``/``max`` endpoints)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = int(series.get("count", 0))
+    if total == 0:
+        return 0
+    if q <= 0.0:
+        return int(series.get("min_ns", 0))
+    if q >= 1.0:
+        return int(series.get("max_ns", 0))
+    rank = q * (total - 1)
+    seen = 0
+    for idx, c in series.get("buckets", ()):
+        seen += int(c)
+        if seen > rank:
+            return bucket_mid(int(idx))
+    return int(series.get("max_ns", 0))
+
+
+def series_samples(series: Mapping[str, Any], cap: int = 2000) -> List[float]:
+    """A deterministic, order-free sample reconstruction for bootstrap CIs.
+
+    Systematic sampling at bucket-midpoint resolution: ``n = min(count,
+    cap)`` evenly spaced ranks are materialized by one cumulative walk of
+    the sparse buckets.  Feed the result to
+    :func:`repro.perf.stats.bootstrap_ci` / ``SampleStats``.
+    """
+    total = int(series.get("count", 0))
+    if total == 0:
+        return []
+    n = min(total, cap)
+    buckets = [(int(i), int(c)) for i, c in series.get("buckets", ())]
+    samples: List[float] = []
+    seen = 0
+    b = 0
+    for j in range(n):
+        rank = (j + 0.5) * total / n
+        while b < len(buckets) and seen + buckets[b][1] < rank:
+            seen += buckets[b][1]
+            b += 1
+        idx = buckets[b][0] if b < len(buckets) else buckets[-1][0]
+        samples.append(float(bucket_mid(idx)))
+    return samples

@@ -11,7 +11,10 @@ scrape pipeline.  Two metric tiers:
   events/sec, finished flag;
 * **per-run headlines** (once ``runs/*.json`` records exist) — wall
   time, events/sec, throughput, p99 latency, fault-injection and
-  MFLOW-degradation counters, labeled ``{experiment, cell}``.
+  MFLOW-degradation counters, labeled ``{experiment, cell}``;
+* **per-stage histograms** (records carrying a ``hist`` payload —
+  :mod:`repro.obs.hist`) — visit counts and exact mean / p99 queueing
+  and service latencies, labeled ``{experiment, cell, stage}``.
 
 The exposition is schema-versioned like ``BENCH_*.json``: a
 ``repro_telemetry_info`` gauge carries ``schema_version`` so dashboards
@@ -179,6 +182,26 @@ def sweep_families(statuses: Sequence[SweepStatus]) -> List[Family]:
         "repro_run_degradation_events", "counter",
         "MFLOW degradation/readmission transitions during one cell's run.",
     )
+    stage_visits = Family(
+        "repro_run_stage_visits", "counter",
+        "Packets that executed one datapath stage during one cell's run.",
+    )
+    stage_queue_mean = Family(
+        "repro_run_stage_queue_mean_nanoseconds", "gauge",
+        "Exact mean run-queue wait before one stage (stage histograms).",
+    )
+    stage_queue_p99 = Family(
+        "repro_run_stage_queue_p99_nanoseconds", "gauge",
+        "p99 run-queue wait before one stage (bucket-midpoint resolution).",
+    )
+    stage_service_mean = Family(
+        "repro_run_stage_service_mean_nanoseconds", "gauge",
+        "Exact mean execution span of one stage (stage histograms).",
+    )
+    stage_service_p99 = Family(
+        "repro_run_stage_service_p99_nanoseconds", "gauge",
+        "p99 execution span of one stage (bucket-midpoint resolution).",
+    )
 
     for status in statuses:
         exp = status.experiment
@@ -208,13 +231,56 @@ def sweep_families(statuses: Sequence[SweepStatus]) -> List[Family]:
                 run_faults.add(cell.fault_injections, **labels)
             if cell.degradation_events:
                 run_degraded.add(cell.degradation_events, **labels)
+            record = status.records.get(cell.spec_key) or {}
+            hist = (record.get("measurements") or {}).get("hist")
+            if hist:
+                _add_stage_samples(
+                    hist, labels, stage_visits,
+                    stage_queue_mean, stage_queue_p99,
+                    stage_service_mean, stage_service_p99,
+                )
 
     families = [
         info, cells, specs, finished, retries, restores, hit_ratio, wall,
         events, rate, torn, run_wall, run_rate, run_tput, run_p99,
-        run_faults, run_degraded,
+        run_faults, run_degraded, stage_visits,
+        stage_queue_mean, stage_queue_p99,
+        stage_service_mean, stage_service_p99,
     ]
     return [f for f in families if f.samples]
+
+
+def _add_stage_samples(
+    hist: Dict[str, Any],
+    labels: Dict[str, str],
+    visits: Family,
+    queue_mean: Family,
+    queue_p99: Family,
+    service_mean: Family,
+    service_p99: Family,
+) -> None:
+    """One record's hist payload -> per-stage samples (rollup over
+    cores and flow classes; core-tag system work rides along as
+    pseudo-stages with no queue series)."""
+    from repro.obs.hist import series_mean_ns, series_quantile_ns, stage_rollup
+
+    try:
+        rollup = stage_rollup(hist)
+    except ValueError:
+        return  # foreign geometry: skip rather than mislabel
+    for stage in sorted(rollup):
+        kinds = rollup[stage]
+        service = kinds.get("service") or {}
+        if not service.get("count"):
+            continue
+        stage_labels = dict(labels, stage=stage)
+        visits.add(int(service["count"]), **stage_labels)
+        service_mean.add(round(series_mean_ns(service), 3), **stage_labels)
+        service_p99.add(series_quantile_ns(service, 0.99), **stage_labels)
+        queue = kinds.get("queue") or {}
+        if queue.get("count"):
+            queue_mean.add(round(series_mean_ns(queue), 3), **stage_labels)
+            queue_p99.add(series_quantile_ns(queue, 0.99), **stage_labels)
 
 
 # -------------------------------------------------------------------- parsing

@@ -13,10 +13,14 @@ as a CI artifact or mailed around:
 * **latency decomposition** — the per-stage queueing/service/hold table
   from :mod:`repro.obs.decompose`, for every cell whose record carries
   an ``obs`` payload;
+* **stage histograms** — always-on exact per-stage latency distributions
+  (:mod:`repro.obs.hist`) rendered as unicode sparklines with p50/p99,
+  for every cell whose record carries a ``hist`` payload;
 * **fault summary** — aggregated fault-injection and degradation
   counters across the matrix;
-* optional **bench** (``BENCH_*.json``) and **fidelity** scoreboard
-  payloads, embedded as tables when paths are supplied.
+* optional **bench** (``BENCH_*.json``), **fidelity** scoreboard, and
+  **diff** (``repro diff --json-out``) payloads, embedded as tables when
+  paths are supplied.
 """
 
 from __future__ import annotations
@@ -59,6 +63,8 @@ th { background: #f4f6f8; } td.num, th.num { text-align: right;
        background: #6b7fd7; min-width: 2px; }
 .bar.q { background: #b42318; }
 .note { color: #5b6b7a; font-size: .8rem; }
+td.spark { font-family: ui-monospace, Menlo, monospace; letter-spacing: -1px;
+           color: #4a5b8c; white-space: pre; }
 """
 
 
@@ -193,6 +199,135 @@ def _decomposition_sections(status: SweepStatus) -> str:
     return "".join(sections)
 
 
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+_SPARK_WIDTH = 24
+
+
+def _sparkline(series: Dict[str, Any], width: int = _SPARK_WIDTH) -> str:
+    """Unicode sparkline over the occupied bucket range of one series.
+
+    The sparse buckets are compressed into ``width`` equal index spans;
+    each column's height is its summed count scaled to the tallest
+    column.  Deterministic, text-only — safe for HTML and markdown.
+    """
+    buckets = [(int(i), int(c)) for i, c in series.get("buckets", ())]
+    if not buckets:
+        return ""
+    lo = buckets[0][0]
+    hi = buckets[-1][0]
+    span = max(hi - lo + 1, 1)
+    width = min(width, span)
+    cols = [0] * width
+    for idx, count in buckets:
+        cols[(idx - lo) * width // span] += count
+    peak = max(cols)
+    return "".join(
+        _SPARK_BLOCKS[(c * (len(_SPARK_BLOCKS) - 1) + peak - 1) // peak] if c else " "
+        for c in cols
+    )
+
+
+def _hist_rows(rollup: Dict[str, Dict[str, Dict[str, Any]]]):
+    """(stage, service-series, queue-p99, spark, p50, p99) display rows,
+    busiest stages first."""
+    from repro.obs.hist import series_quantile_ns
+
+    rows = []
+    for stage, kinds in rollup.items():
+        service = kinds.get("service") or {}
+        if not service.get("count"):
+            continue
+        queue = kinds.get("queue") or {}
+        rows.append(
+            {
+                "stage": stage,
+                "count": int(service["count"]),
+                "queue_p99_ns": (
+                    series_quantile_ns(queue, 0.99) if queue.get("count") else None
+                ),
+                "spark": _sparkline(service),
+                "p50_ns": series_quantile_ns(service, 0.50),
+                "p99_ns": series_quantile_ns(service, 0.99),
+                "sum_ns": int(service.get("sum_ns", 0)),
+            }
+        )
+    rows.sort(key=lambda r: (-r["sum_ns"], r["stage"]))
+    return rows
+
+
+def _hist_sections(status: SweepStatus) -> str:
+    from repro.obs.hist import stage_rollup
+
+    sections = []
+    for cell in status.cells:
+        record = status.records.get(cell.spec_key) or {}
+        hist = (record.get("measurements") or {}).get("hist")
+        if not hist:
+            continue
+        try:
+            rows = _hist_rows(stage_rollup(hist))
+        except ValueError:
+            continue
+        if not rows:
+            continue
+        body = "".join(
+            "<tr>"
+            f"<td>{_esc(r['stage'])}</td>"
+            f'<td class="num">{r["count"]}</td>'
+            f'<td class="num">{_num(r["queue_p99_ns"] / 1e3 if r["queue_p99_ns"] is not None else None, "{:.1f}")}</td>'
+            f'<td class="spark">{_esc(r["spark"])}</td>'
+            f'<td class="num">{_num(r["p50_ns"] / 1e3, "{:.2f}")}</td>'
+            f'<td class="num">{_num(r["p99_ns"] / 1e3, "{:.2f}")}</td>'
+            "</tr>"
+            for r in rows
+        )
+        sections.append(
+            f"<h3>{_esc(cell.label)}</h3>"
+            '<table><thead><tr><th>stage</th><th class="num">visits</th>'
+            '<th class="num">queue p99 µs</th><th>service distribution</th>'
+            '<th class="num">p50 µs</th><th class="num">p99 µs</th>'
+            f"</tr></thead><tbody>{body}</tbody></table>"
+        )
+    if not sections:
+        return (
+            '<p class="note">No stage histograms: the records predate the '
+            "hist payload or the sweep ran with <code>hist=False</code>.</p>"
+        )
+    return "".join(sections)
+
+
+def _diff_section(payload: Dict[str, Any]) -> str:
+    rows = payload.get("rows")
+    if not isinstance(rows, list):
+        return '<p class="note">Unrecognized diff payload layout.</p>'
+    body = "".join(
+        "<tr>"
+        f"<td>{_esc(r.get('stage', '?'))}</td>"
+        f"<td>{_esc(r.get('series', '?'))}</td>"
+        f'<td class="num">{_num(r.get("mean_a_ns", 0.0) / 1e3, "{:.2f}")}</td>'
+        f'<td class="num">{_num(r.get("mean_b_ns", 0.0) / 1e3, "{:.2f}")}</td>'
+        f'<td class="num">{r.get("delta_pct", 0.0):+.1f}%</td>'
+        f'<td class="num">{r.get("share_pct", 0.0):.1f}%</td>'
+        f"<td>{_esc(r.get('status', '?'))}</td>"
+        "</tr>"
+        for r in rows
+        if isinstance(r, dict)
+    )
+    verdict = "no significant regression" if payload.get("ok") else (
+        "significant regression"
+    )
+    return (
+        f'<p class="note">B = {_esc(payload.get("label_b", "?"))} vs '
+        f'A = {_esc(payload.get("label_a", "?"))} — {verdict} '
+        f'(tolerance {payload.get("tolerance", 0.0) * 100:.0f}% beyond CI '
+        "overlap, ranked by contribution to the total shift).</p>"
+        '<table><thead><tr><th>stage</th><th>series</th>'
+        '<th class="num">mean A µs</th><th class="num">mean B µs</th>'
+        '<th class="num">Δ%</th><th class="num">share</th><th>verdict</th>'
+        f"</tr></thead><tbody>{body}</tbody></table>"
+    )
+
+
 def _fault_summary(status: SweepStatus) -> str:
     totals: Dict[str, int] = {}
     degradations = 0
@@ -270,6 +405,7 @@ def build_html(
     statuses: Sequence[SweepStatus],
     bench: Optional[Dict[str, Any]] = None,
     fidelity: Optional[Dict[str, Any]] = None,
+    diff: Optional[Dict[str, Any]] = None,
     title: str = "repro run report",
 ) -> str:
     """The self-contained HTML document."""
@@ -295,8 +431,13 @@ def build_html(
         parts.append(_timeline(status))
         parts.append("<h3>Latency decomposition</h3>")
         parts.append(_decomposition_sections(status))
+        parts.append("<h3>Stage histograms</h3>")
+        parts.append(_hist_sections(status))
         parts.append("<h3>Fault summary</h3>")
         parts.append(_fault_summary(status))
+    if diff is not None:
+        parts.append("<h2>Stage latency diff</h2>")
+        parts.append(_diff_section(diff))
     if bench is not None:
         parts.append("<h2>Benchmark payload</h2>")
         parts.append(_bench_section(bench))
@@ -311,6 +452,7 @@ def build_markdown(
     statuses: Sequence[SweepStatus],
     bench: Optional[Dict[str, Any]] = None,
     fidelity: Optional[Dict[str, Any]] = None,
+    diff: Optional[Dict[str, Any]] = None,
     title: str = "repro run report",
 ) -> str:
     """The same report as GitHub-flavored markdown."""
@@ -341,6 +483,28 @@ def build_markdown(
                 f"{_num(cell.throughput_gbps)} | {_num(cell.p99_us, '{:.1f}')} |"
             )
         lines.append("")
+        hist_lines = _hist_markdown(status)
+        if hist_lines:
+            lines += ["### Stage histograms", ""] + hist_lines + [""]
+    if diff is not None:
+        lines += ["## Stage latency diff", ""]
+        rows = diff.get("rows")
+        if isinstance(rows, list):
+            lines += [
+                "| stage | series | mean A µs | mean B µs | Δ% | share | verdict |",
+                "| --- | --- | ---: | ---: | ---: | ---: | --- |",
+            ]
+            for r in rows:
+                if isinstance(r, dict):
+                    lines.append(
+                        f"| {r.get('stage', '?')} | {r.get('series', '?')} | "
+                        f"{r.get('mean_a_ns', 0.0) / 1e3:.2f} | "
+                        f"{r.get('mean_b_ns', 0.0) / 1e3:.2f} | "
+                        f"{r.get('delta_pct', 0.0):+.1f}% | "
+                        f"{r.get('share_pct', 0.0):.1f}% | "
+                        f"{r.get('status', '?')} |"
+                    )
+            lines.append("")
     if bench is not None:
         lines += [
             "## Benchmark payload",
@@ -365,6 +529,41 @@ def build_markdown(
                     )
             lines.append("")
     return "\n".join(lines) + "\n"
+
+
+def _hist_markdown(status: SweepStatus) -> list:
+    """Sparkline rows for every cell carrying a hist payload (markdown)."""
+    from repro.obs.hist import stage_rollup
+
+    lines: list = []
+    for cell in status.cells:
+        record = status.records.get(cell.spec_key) or {}
+        hist = (record.get("measurements") or {}).get("hist")
+        if not hist:
+            continue
+        try:
+            rows = _hist_rows(stage_rollup(hist))
+        except ValueError:
+            continue
+        if not rows:
+            continue
+        lines += [
+            f"**{cell.label}**",
+            "",
+            "| stage | visits | queue p99 µs | service distribution | p50 µs | p99 µs |",
+            "| --- | ---: | ---: | --- | ---: | ---: |",
+        ]
+        for r in rows:
+            q = (
+                f"{r['queue_p99_ns'] / 1e3:.1f}"
+                if r["queue_p99_ns"] is not None else "-"
+            )
+            lines.append(
+                f"| {r['stage']} | {r['count']} | {q} | `{r['spark']}` | "
+                f"{r['p50_ns'] / 1e3:.2f} | {r['p99_ns'] / 1e3:.2f} |"
+            )
+        lines.append("")
+    return lines
 
 
 def write_report(path: Path, text: str) -> Path:

@@ -313,8 +313,8 @@ class SweepStatus:
 
     def eta_s(self) -> Optional[float]:
         """Remaining wall time, from completed live cells' mean wall time
-        spread over the sweep's worker count.  None until one live cell
-        has finished (there is nothing to extrapolate from)."""
+        spread over the sweep's worker count.  None until one terminal
+        cell exists (there is nothing to extrapolate from)."""
         if self.finished or self.remaining == 0:
             return 0.0
         walls = [
@@ -323,6 +323,13 @@ class SweepStatus:
             if c.terminal and not c.cached and c.wall_time_s > 0
         ]
         if not walls:
+            # every terminal cell so far was cache-served: cache hits are
+            # effectively instant, so the honest estimate is "done", not
+            # "unknown" — a fully-warmed resweep should read eta 0s
+            if self.cache_hits and self.cache_hits == sum(
+                1 for c in self.cells if c.terminal
+            ):
+                return 0.0
             return None
         jobs = max(1, int(self.jobs or 1))
         mean = sum(walls) / len(walls)
@@ -440,8 +447,12 @@ class SweepProgress:
         live_done = done - self._cached
         if live_done > 0 and done < total:
             eta = f"eta {elapsed / live_done * (total - done):4.0f}s"
+        elif done < total:
+            # all completions so far were cache hits: remaining cells are
+            # almost certainly cached too, so report 0s rather than ?
+            eta = "eta    0s" if done > 0 else "eta    ?"
         else:
-            eta = "eta    ?" if done < total else f"{elapsed:5.1f}s"
+            eta = f"{elapsed:5.1f}s"
         text = f"{done}/{total}"
         if self._cached:
             text += f" cached={self._cached}"

@@ -72,6 +72,7 @@ class BenchScenario:
                 batch_size=int(params.get("batch_size", 256)),
                 faults=params.get("faults"),
                 obs=params.get("obs"),
+                hist=params.get("hist", True),
             )
         if self.kind == "multiflow":
             from repro.workloads.multiflow import run_multiflow
@@ -85,6 +86,7 @@ class BenchScenario:
                 measure_ns=measure_ns,
                 faults=params.get("faults"),
                 obs=params.get("obs"),
+                hist=params.get("hist", True),
             )
         raise ValueError(f"unknown bench scenario kind {self.kind!r}")
 
@@ -107,6 +109,10 @@ def default_matrix() -> List[BenchScenario]:
                            system="mflow", proto="tcp", size=65536, faults="loss5"),
         BenchScenario.make("single_tcp64k_mflow_obs", "sockperf",
                            system="mflow", proto="tcp", size=65536, obs=True),
+        # histograms are on by default everywhere else in the matrix, so
+        # this hist-off twin of single_tcp64k_mflow meters their tax
+        BenchScenario.make("single_tcp64k_mflow_nohist", "sockperf",
+                           system="mflow", proto="tcp", size=65536, hist=False),
     ]
     return single + multi + variants
 
@@ -121,9 +127,12 @@ class ScenarioBench:
     events_per_sec: SampleStats
     events_executed: int
     throughput_gbps: float
+    #: exact stage-histogram payload (repro.obs.hist) from the last rep;
+    #: deterministic in the seed, so any rep yields the same counts
+    hist: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "kind": self.scenario.kind,
             "params": self.scenario.params_dict(),
             "wall_s": self.wall_s.to_dict(),
@@ -131,6 +140,10 @@ class ScenarioBench:
             "events_executed": self.events_executed,
             "throughput_gbps": self.throughput_gbps,
         }
+        # additive: hist-off cells serialize exactly as schema v1 always did
+        if self.hist is not None:
+            out["hist"] = self.hist
+        return out
 
 
 ProgressFn = Callable[[str, int, int], None]
@@ -157,6 +170,7 @@ def run_bench(
         rates: List[float] = []
         events = 0
         gbps = 0.0
+        hist: Optional[Dict[str, Any]] = None
         for _ in range(warmup_reps):
             scenario.run_once(seed, warmup_ns, measure_ns)
         for rep in range(reps):
@@ -169,6 +183,7 @@ def run_bench(
             rates.append(res.events_executed / wall if wall > 0 else 0.0)
             events = res.events_executed
             gbps = res.throughput_gbps
+            hist = getattr(res, "hist", None)
         out.append(
             ScenarioBench(
                 scenario=scenario,
@@ -176,6 +191,7 @@ def run_bench(
                 events_per_sec=SampleStats.from_samples(rates, seed=ci_seed),
                 events_executed=events,
                 throughput_gbps=gbps,
+                hist=hist,
             )
         )
     return out

@@ -65,6 +65,8 @@ def scenario_result_to_dict(res: ScenarioResult) -> Dict[str, Any]:
         out["migration"] = dict(res.migration)
     if res.health_counts:
         out["health_counts"] = {k: dict(v) for k, v in res.health_counts.items()}
+    if res.hist is not None:
+        out["hist"] = dict(res.hist)
     return out
 
 
@@ -93,6 +95,7 @@ def scenario_result_from_dict(data: Dict[str, Any]) -> ScenarioResult:
         health_counts={
             k: dict(v) for k, v in data.get("health_counts", {}).items()
         },
+        hist=data.get("hist"),
     )
 
 

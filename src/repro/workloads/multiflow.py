@@ -77,6 +77,7 @@ def build_multiflow_scenario(
     faults=None,
     obs=None,
     selfprof=None,
+    hist=True,
 ) -> Scenario:
     """Assemble an ``n_flows``-flow overlay TCP scenario."""
     if n_flows < 1:
@@ -92,6 +93,7 @@ def build_multiflow_scenario(
         faults=faults,
         obs=obs,
         selfprof=selfprof,
+        hist=hist,
     )
     for i in range(n_flows):
         sc.add_tcp_sender(message_size, flow=make_flow("tcp", i))
@@ -110,11 +112,12 @@ def run_multiflow(
     faults=None,
     obs=None,
     selfprof=None,
+    hist=True,
 ) -> ScenarioResult:
     """One cell of Fig. 10 (aggregate TCP throughput)."""
     sc = build_multiflow_scenario(
         system, n_flows, message_size, costs=costs, seed=seed, placement=placement,
-        faults=faults, obs=obs, selfprof=selfprof,
+        faults=faults, obs=obs, selfprof=selfprof, hist=hist,
     )
     return sc.run(warmup_ns=warmup_ns, measure_ns=measure_ns)
 

@@ -38,6 +38,7 @@ from repro.obs import (
     resolve_obs,
 )
 from repro.obs.config import ObsConfigLike
+from repro.obs.hist import HistConfig, HistConfigLike, StageHistograms, resolve_hist
 from repro.perf.selfprof import SelfProfiler, resolve_selfprof
 from repro.netstack.nic import Nic, Wire
 from repro.netstack.packet import FlowKey
@@ -91,6 +92,10 @@ class ScenarioResult:
     #: per-flow quarantine/readmission tallies from the health monitor
     #: (empty unless an MFLOW run had an active fault plan)
     health_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: exact per-(stage, core, flow-class) latency histograms — always on
+    #: by default (None only when the run was built with ``hist=False``);
+    #: see repro.obs.hist for the payload layout and merge algebra
+    hist: Optional[Dict] = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience printer
         return (
@@ -116,6 +121,7 @@ class Scenario:
         obs: ObsConfigLike = None,
         selfprof: Union[None, bool, SelfProfiler] = None,
         migration: MigrationPlanLike = None,
+        hist: HistConfigLike = True,
     ):
         if proto not in ("tcp", "udp"):
             raise ValueError(f"proto must be 'tcp' or 'udp', got {proto!r}")
@@ -213,6 +219,14 @@ class Scenario:
         self.intervals: Optional[IntervalMetrics] = None
         if self.obs_config is not None:
             self._attach_obs(self.obs_config)
+        # Exact stage histograms are *always on* (hist=False opts out).
+        # Recording draws no randomness and schedules no events, so the
+        # simulated timeline — and every other measurement — is identical
+        # with histograms on or off.
+        self.hist_config: Optional[HistConfig] = resolve_hist(hist)
+        self.hist: Optional[StageHistograms] = None
+        if self.hist_config is not None:
+            self._attach_hist(self.hist_config)
         if self.faults is not None:
             self.nic.faults = self.faults
             self.faults.apply_to_nic(self.nic)
@@ -259,6 +273,21 @@ class Scenario:
         monitor = getattr(self.policy, "health_monitor", None)
         if monitor is not None:
             monitor.obs = self.recorder
+
+    # ------------------------------------------------------------ hist wiring
+    def _attach_hist(self, cfg: HistConfig) -> None:
+        """Arm the exact stage histograms on the receive side.
+
+        Like the flight recorder, only receiver cores are instrumented:
+        the contention the paper studies is all on the receive side, and
+        client-machine core ids would collide with receiver series.
+        """
+        hist = StageHistograms(cfg)
+        hist.stage_names = frozenset(self.pipeline.stage_names())
+        self.pipeline.hist = hist
+        for core in self.cpus:
+            core.hist = hist
+        self.hist = hist
 
     # ------------------------------------------------------------- clients
     def make_client_flow(self, client_id: int, dport: int = 5001) -> FlowKey:
@@ -496,4 +525,5 @@ class Scenario:
             health_counts={k: dict(v) for k, v in monitor.counts.items()}
             if monitor
             else {},
+            hist=self.hist.to_dict() if self.hist is not None else None,
         )

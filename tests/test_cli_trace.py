@@ -14,7 +14,7 @@ class TestCli:
         assert set(choices) == {
             "throughput", "latency", "multiflow", "memcached", "compare",
             "ceilings", "faults", "trace", "prof", "bench", "fidelity",
-            "resume", "fsck", "migrate", "top", "metrics", "report",
+            "resume", "fsck", "migrate", "top", "metrics", "report", "diff",
         }
 
     def test_throughput_command_runs(self, capsys):

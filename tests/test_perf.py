@@ -283,9 +283,10 @@ class TestBenchHarness:
     def test_default_matrix_shape(self):
         matrix = default_matrix()
         names = [s.name for s in matrix]
-        assert len(names) == len(set(names)) == 8
+        assert len(names) == len(set(names)) == 9
         assert "single_tcp64k_mflow_faults" in names
         assert "single_tcp64k_mflow_obs" in names
+        assert "single_tcp64k_mflow_nohist" in names
         kinds = {s.kind for s in matrix}
         assert kinds == {"sockperf", "multiflow"}
 
