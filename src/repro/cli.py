@@ -586,6 +586,19 @@ def cmd_fsck(args) -> int:
     return report.exit_code()
 
 
+def cmd_runner_serve(args) -> int:
+    """Serve sweep cells to a pool coordinator (`--executor socket`)."""
+    from repro.runner.executors.socketpool import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        slots=args.slots,
+        runner_id=args.runner_id,
+        once=args.once,
+    )
+
+
 def cmd_top(args) -> int:
     """Live (journal-tailing) sweep status view."""
     from pathlib import Path
@@ -1014,6 +1027,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="emit the payload as JSON")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "runner",
+        help="runner-pool worker commands (see docs/RUNNER.md, Executors)",
+    )
+    runner_sub = p.add_subparsers(dest="runner_command", required=True)
+    p = runner_sub.add_parser(
+        "serve",
+        help="serve sweep cells over TCP to a socket-executor coordinator",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = ephemeral, printed on startup)",
+    )
+    p.add_argument(
+        "--slots", type=int, default=1,
+        help="concurrent cells this runner executes (default 1)",
+    )
+    p.add_argument(
+        "--runner-id", default=None,
+        help="identity reported to the coordinator (default host:port)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="exit after the first coordinator session instead of re-listening",
+    )
+    p.set_defaults(fn=cmd_runner_serve)
 
     p = sub.add_parser(
         "fidelity", help="score reproduced headline numbers against the paper"

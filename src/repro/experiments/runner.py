@@ -41,6 +41,7 @@ from repro.experiments import (
     sensitivity,
 )
 from repro.runner import DEFAULT_TIMEOUT_S, RunEngine, RunFailure
+from repro.runner.executors import EXECUTOR_NAMES, make_executor
 
 MODULES = {
     "fig4": fig4_motivation,
@@ -95,6 +96,21 @@ def main(argv=None) -> int:
         help="snapshot each simulator every SECONDS of wall time so killed "
              "cells resume mid-run (`repro resume`); default: off",
     )
+    parser.add_argument(
+        "--executor", choices=list(EXECUTOR_NAMES), default="auto",
+        help="execution backend: auto (local for --jobs 1, process pool "
+             "otherwise, socket when --runners is given), or force one",
+    )
+    parser.add_argument(
+        "--runners", default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="runner-pool addresses for the socket executor "
+             "(start each with `repro runner serve`)",
+    )
+    parser.add_argument(
+        "--heartbeat-s", type=float, default=None, metavar="SECONDS",
+        help="socket-pool heartbeat interval; a runner silent for "
+             "3 heartbeats is declared lost and its cells re-dispatched",
+    )
     args = parser.parse_args(argv)
 
     names = args.figures or list(MODULES)
@@ -103,6 +119,18 @@ def main(argv=None) -> int:
         parser.error(f"unknown figures {unknown}; choose from {list(MODULES)}")
 
     jobs = max(1, args.jobs if args.jobs is not None else (os.cpu_count() or 1))
+    socket_kwargs = {}
+    if args.heartbeat_s is not None:
+        socket_kwargs["heartbeat_s"] = args.heartbeat_s
+    try:
+        executor = make_executor(
+            args.executor,
+            jobs=jobs,
+            runners=args.runners.split(",") if args.runners else None,
+            **socket_kwargs,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     json_out: Dict[str, Dict] = {}
     status = 0
     for name in names:
@@ -117,6 +145,7 @@ def main(argv=None) -> int:
             use_cache=not args.no_cache,
             progress=SweepProgress(name) if sys.stderr.isatty() else None,
             checkpoint_wall_s=args.checkpoint_s,
+            executor=executor,
         )
         started = time.time()
         try:

@@ -162,6 +162,18 @@ def sweep_families(statuses: Sequence[SweepStatus]) -> List[Family]:
         "repro_sweep_journal_torn_lines", "gauge",
         "Unparseable journal lines skipped by the tailing reader.",
     )
+    runners = Family(
+        "repro_sweep_runners", "gauge",
+        "Pool runners by state (socket executor: live/lost/unreachable).",
+    )
+    redispatches = Family(
+        "repro_sweep_redispatches", "counter",
+        "Cells re-dispatched to a surviving runner after losing theirs.",
+    )
+    degraded = Family(
+        "repro_sweep_degraded", "gauge",
+        "1 once the pool drained to zero runners and fell back to local execution.",
+    )
 
     run_wall = Family("repro_run_wall_seconds", "gauge", "One cell's wall time.")
     run_rate = Family(
@@ -217,6 +229,17 @@ def sweep_families(statuses: Sequence[SweepStatus]) -> List[Family]:
         events.add(status.events_total, experiment=exp)
         rate.add(round(status.events_per_sec_aggregate, 3), experiment=exp)
         torn.add(status.torn_lines, experiment=exp)
+        if status.runners:
+            by_state: Dict[str, int] = {}
+            for info_dict in status.runners.values():
+                state = str(info_dict.get("state", "unknown"))
+                by_state[state] = by_state.get(state, 0) + 1
+            for state, count in sorted(by_state.items()):
+                runners.add(count, experiment=exp, state=state)
+        if status.redispatches_total:
+            redispatches.add(status.redispatches_total, experiment=exp)
+        if status.degraded:
+            degraded.add(1, experiment=exp)
         for cell in status.cells:
             if not cell.terminal or cell.cached:
                 continue
@@ -242,7 +265,8 @@ def sweep_families(statuses: Sequence[SweepStatus]) -> List[Family]:
 
     families = [
         info, cells, specs, finished, retries, restores, hit_ratio, wall,
-        events, rate, torn, run_wall, run_rate, run_tput, run_p99,
+        events, rate, torn, runners, redispatches, degraded,
+        run_wall, run_rate, run_tput, run_p99,
         run_faults, run_degraded, stage_visits,
         stage_queue_mean, stage_queue_p99,
         stage_service_mean, stage_service_p99,

@@ -76,6 +76,10 @@ class CellStatus:
     sim_ns: float = 0.0
     selfprof_events_per_sec: Optional[float] = None
     checkpoint_restores: int = 0
+    #: pool runner executing (or last to execute) this cell, if any
+    runner: Optional[str] = None
+    #: times this cell was re-dispatched after losing its runner
+    redispatches: int = 0
     started_ts: Optional[float] = None    # wall clock, v2 journals only
     finished_ts: Optional[float] = None
     # headline measurements, filled from runs/*.json when present
@@ -104,6 +108,8 @@ class CellStatus:
             "sim_ns": self.sim_ns,
             "selfprof_events_per_sec": self.selfprof_events_per_sec,
             "checkpoint_restores": self.checkpoint_restores,
+            "runner": self.runner,
+            "redispatches": self.redispatches,
             "started_ts": self.started_ts,
             "finished_ts": self.finished_ts,
             "throughput_gbps": self.throughput_gbps,
@@ -121,6 +127,11 @@ class SweepStatus:
         self.sweep_dir = Path(sweep_dir)
         self.n_specs = 0
         self.jobs: Optional[int] = None
+        self.executor: Optional[str] = None
+        #: pool fleet state keyed on runner id (socket-executor sweeps)
+        self.runners: Dict[str, Dict[str, Any]] = {}
+        self.degraded = False
+        self.redispatches_total = 0
         self.global_seed = 0
         self.journal_schema = 1        # until a v2 sweep_start says otherwise
         self.torn_lines = 0
@@ -149,6 +160,8 @@ class SweepStatus:
         status = cls(str(sweep.get("experiment", sweep_dir.name)), sweep_dir)
         status.global_seed = int(sweep.get("global_seed", 0))
         status.jobs = sweep.get("jobs")
+        executor = sweep.get("executor")
+        status.executor = str(executor) if executor else None
         for spec_data in sweep.get("specs", []):
             status._cell_for_spec(spec_data)
         status.n_specs = len(status.cells)
@@ -194,14 +207,22 @@ class SweepStatus:
             schema = entry.get("journal_schema")
             self.journal_schema = int(schema) if isinstance(schema, int) else 1
             self.finished = False
+            executor = entry.get("executor")
+            if executor:
+                self.executor = str(executor)
             if ts is not None:
                 self.started_ts = ts
         elif kind == "spec_start":
             cell = self._cell(str(entry.get("spec_key", "")))
             cell.phase = "running"
             cell.attempts = max(cell.attempts, int(entry.get("attempt", 0)) + 1)
+            runner = entry.get("runner")
+            if isinstance(runner, str):
+                cell.runner = runner
             if ts is not None and cell.started_ts is None:
                 cell.started_ts = ts
+        elif kind == "runner":
+            self._apply_runner_event(entry)
         elif kind == "event":
             cell = self._cell(str(entry.get("spec_key", "")))
             event = entry.get("event")
@@ -224,6 +245,9 @@ class SweepStatus:
             cell.attempts = max(cell.attempts, int(entry.get("attempts", 0)))
             cell.checkpoint_restores = int(entry.get("checkpoint_restores", 0))
             cell.wall_time_s = float(entry.get("wall_time_s", 0.0))
+            runner = entry.get("runner")
+            if isinstance(runner, str):
+                cell.runner = runner
             if ts is not None:
                 cell.finished_ts = ts
             progress = entry.get("progress")
@@ -237,6 +261,36 @@ class SweepStatus:
             self.finished = True
             if ts is not None:
                 self.finished_ts = ts
+
+    def _apply_runner_event(self, entry: Dict[str, Any]) -> None:
+        """Fold one executor-fleet journal entry (``kind: runner``)."""
+        event = entry.get("event")
+        runner_id = entry.get("runner")
+        if event == "registered" and isinstance(runner_id, str):
+            self.runners[runner_id] = {
+                "state": "live",
+                "addr": entry.get("addr"),
+                "slots": entry.get("slots"),
+            }
+        elif event == "lost" and isinstance(runner_id, str):
+            info = self.runners.setdefault(runner_id, {})
+            info["state"] = "lost"
+            info["reason"] = entry.get("reason")
+            info["lost_inflight"] = entry.get("inflight")
+        elif event == "unreachable":
+            addr = str(entry.get("addr", "?"))
+            self.runners.setdefault(addr, {})["state"] = "unreachable"
+        elif event == "redispatch":
+            self.redispatches_total += 1
+            spec_key = entry.get("spec_key")
+            if isinstance(spec_key, str) and spec_key:
+                cell = self._cell(spec_key)
+                cell.redispatches += 1
+                target = entry.get("runner")
+                if isinstance(target, str):
+                    cell.runner = target
+        elif event == "degraded":
+            self.degraded = True
 
     def _enrich_from_records(self) -> None:
         """Headline measurements from ``runs/*.json`` (written at sweep
@@ -308,6 +362,14 @@ class SweepStatus:
         return self.events_total / wall if wall > 0 else 0.0
 
     @property
+    def runners_live(self) -> int:
+        return sum(1 for r in self.runners.values() if r.get("state") == "live")
+
+    @property
+    def runners_lost(self) -> int:
+        return sum(1 for r in self.runners.values() if r.get("state") == "lost")
+
+    @property
     def remaining(self) -> int:
         return sum(1 for c in self.cells if not c.terminal)
 
@@ -346,6 +408,10 @@ class SweepStatus:
             "finished": self.finished,
             "n_specs": self.n_specs,
             "jobs": self.jobs,
+            "executor": self.executor,
+            "runners": self.runners,
+            "degraded": self.degraded,
+            "redispatches": self.redispatches_total,
             "global_seed": self.global_seed,
             "started_ts": self.started_ts,
             "finished_ts": self.finished_ts,

@@ -64,6 +64,15 @@ def _summary_line(status: SweepStatus) -> str:
         f"retries {status.retries_total}",
         f"cache {status.cache_hit_ratio * 100:.0f}%",
     ]
+    if status.runners:
+        fleet = f"fleet {status.runners_live}/{len(status.runners)} live"
+        if status.runners_lost:
+            fleet += f" ({status.runners_lost} lost)"
+        if status.redispatches_total:
+            fleet += f" redisp {status.redispatches_total}"
+        if status.degraded:
+            fleet += " DEGRADED"
+        parts.append(fleet)
     if status.events_per_sec_aggregate > 0:
         parts.append(f"{_fmt_rate(status.events_per_sec_aggregate)} ev/s")
     if status.wall_time_total_s > 0:
@@ -80,10 +89,15 @@ def render(statuses: List[SweepStatus], now: Optional[float] = None) -> str:
     blocks = []
     for status in statuses:
         lines = [_summary_line(status)]
+        # pool sweeps get a RUNNER column; local/process sweeps keep the
+        # original layout
+        with_runner = bool(status.runners) or any(c.runner for c in status.cells)
         header = (
             f"  {'CELL':<{_LABEL_WIDTH}} {'PHASE':<11} {'ATT':>3} {'RTY':>3} "
             f"{'CKPT':>4} {'WALL':>8} {'KEV/S':>6} {'GBPS':>6}"
         )
+        if with_runner:
+            header += f" {'RUNNER':<16}"
         lines.append(header)
         lines.append("  " + "-" * (len(header) - 2))
         for cell in status.cells:
@@ -95,11 +109,17 @@ def render(statuses: List[SweepStatus], now: Optional[float] = None) -> str:
             else:
                 wall = "-"
             gbps = f"{cell.throughput_gbps:.2f}" if cell.throughput_gbps else "-"
-            lines.append(
+            row = (
                 f"  {label:<{_LABEL_WIDTH}} {cell.phase:<11} {cell.attempts:>3} "
                 f"{cell.retries:>3} {cell.checkpoint_restores:>4} {wall:>8} "
                 f"{_fmt_rate(cell.events_per_sec):>6} {gbps:>6}"
             )
+            if with_runner:
+                runner = cell.runner or "-"
+                if cell.redispatches:
+                    runner += f" (+{cell.redispatches})"
+                row += f" {runner[:16]:<16}"
+            lines.append(row)
         blocks.append("\n".join(lines))
     return "\n\n".join(blocks)
 

@@ -1,8 +1,9 @@
 """Declarative experiment execution.
 
-``RunSpec`` (what to run) → ``RunEngine`` (how: serial or process-pool,
-cached, fault-tolerant) → ``RunRecord`` (structured JSON artifact) →
-each experiment module's pure ``reduce``.  See ``docs/RUNNER.md``.
+``RunSpec`` (what to run) → ``RunEngine`` + an ``Executor`` (how:
+in-process, local process pool, or socket runner pool — cached,
+fault-tolerant) → ``RunRecord`` (structured JSON artifact) → each
+experiment module's pure ``reduce``.  See ``docs/RUNNER.md``.
 """
 
 from repro.runner.cache import ResultCache, code_version
@@ -11,10 +12,20 @@ from repro.runner.engine import (
     DEFAULT_TIMEOUT_S,
     JOURNAL_SCHEMA_VERSION,
     EngineEvent,
+    JournalLockError,
     RunEngine,
     RunFailure,
     execute_spec,
     run_specs,
+)
+from repro.runner.executors import (
+    CellOutcome,
+    CellTask,
+    Executor,
+    LocalExecutor,
+    ProcessExecutor,
+    SocketExecutor,
+    make_executor,
 )
 from repro.runner.records import (
     RunRecord,
@@ -28,11 +39,19 @@ from repro.runner.spec import RunSpec, canonical_params
 __all__ = [
     "CELL_PHASES",
     "DEFAULT_TIMEOUT_S",
+    "CellOutcome",
+    "CellTask",
     "EngineEvent",
+    "Executor",
     "JOURNAL_SCHEMA_VERSION",
+    "JournalLockError",
     "FACTORIES",
+    "LocalExecutor",
+    "ProcessExecutor",
     "ResultCache",
     "RunEngine",
+    "SocketExecutor",
+    "make_executor",
     "RunFailure",
     "RunRecord",
     "RunSpec",

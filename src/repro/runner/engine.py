@@ -1,50 +1,81 @@
 """Parallel, fault-tolerant execution of :class:`RunSpec` lists.
 
-The :class:`RunEngine` shards a sweep's independent cells across worker
-processes (``jobs`` of them; ``jobs=1`` is a fully in-process serial
-path kept for debugging).  Guarantees:
+The :class:`RunEngine` shards a sweep's independent cells across an
+:class:`~repro.runner.executors.base.Executor` — in-process
+(``jobs=1``), a local process pool, or a socket runner pool
+(:mod:`repro.runner.executors.socketpool`).  The engine owns
+*supervision*; the executor owns only *placement and transport*.
+Guarantees:
 
 * **Determinism** — every spec's scenario seed is derived from
-  ``(global_seed, spec key)``, never from scheduling order, so serial
-  and parallel sweeps produce bit-identical measurements.
-* **Supervision** — a worker that crashes, raises, or exceeds the
-  per-spec timeout is retried (default: once) on a fresh process with
+  ``(global_seed, spec key)``, never from scheduling order or placement,
+  so serial, parallel, and pooled sweeps produce bit-identical
+  measurements.
+* **Supervision** — a cell that crashes, raises, or exceeds the
+  per-spec timeout is retried (default: once) on a fresh worker with
   bounded exponential backoff; a spec that exhausts its retry budget is
   *quarantined* — recorded as failed, listed in the manifest, and the
   rest of the matrix keeps running.  Under ``strict`` the quarantined
   specs still surface as a :class:`RunFailure` once the sweep finishes —
-  never silently dropped, never aborting sibling cells.
+  never silently dropped, never aborting sibling cells.  Losing a pool
+  *runner* is not a cell failure: the socket executor re-dispatches the
+  lost cells internally without touching the retry budget.
 * **Crash safety** — with a ``results_dir``, workers run inside a
   checkpoint scope: the simulator periodically snapshots its full state
-  (:mod:`repro.resilience.checkpoint`) and a retried or resumed spec
-  restarts from the latest snapshot instead of from scratch.  A
-  ``sweep.json`` (the spec list) and an append-only ``journal.jsonl``
-  (per-spec status) are written up front so ``repro resume`` can
-  reconstruct and finish an interrupted sweep.
+  (:mod:`repro.resilience.checkpoint`) and a retried, resumed, or
+  re-dispatched spec restarts from the latest snapshot instead of from
+  scratch.  A ``sweep.json`` (the spec list) and an append-only
+  ``journal.jsonl`` (per-spec status) are written up front so
+  ``repro resume`` can reconstruct and finish an interrupted sweep.  The
+  journal has exactly one writer, asserted with an exclusive lockfile
+  (``journal.jsonl.lock``): a second engine pointed at the same sweep
+  directory fails fast with :class:`JournalLockError` instead of
+  interleaving ``seq`` numbers.  The lock is advisory and dies with the
+  process, so a SIGKILLed sweep never wedges ``repro resume``.
 * **Artifacts & cache** — when given a ``results_dir``, every completed
   spec is written (atomically: tmp + fsync + rename) as a JSON record
   under ``results/<experiment>/runs/`` (plus a sweep ``manifest.json``)
   and memoized in a content-addressed cache keyed on
   ``(spec, code version)``, so re-running a sweep only executes changed
   cells.
+* **Honesty** — records carry ``timeout_enforced``: in-process execution
+  (the local executor, or a drained socket pool) has no hang protection,
+  and a cell that outlives its nominal timeout there emits a
+  ``timeout_overrun`` warning event instead of silently pretending the
+  cap was real.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
 import time
-import traceback
 from dataclasses import dataclass
-from multiprocessing import connection as mp_connection
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.resilience.atomic import append_jsonl, atomic_write_json, read_jsonl
 from repro.runner.cache import ResultCache, code_version
+from repro.runner.executors.base import (
+    CellTask,
+    Executor,
+    LocalExecutor,
+    execute_spec,
+)
+from repro.runner.executors.process import ProcessExecutor
 from repro.runner.records import RunRecord
-from repro.runner.registry import resolve
 from repro.runner.spec import RunSpec
+
+__all__ = [
+    "CELL_PHASES",
+    "DEFAULT_TIMEOUT_S",
+    "JOURNAL_SCHEMA_VERSION",
+    "EngineEvent",
+    "JournalLockError",
+    "RunEngine",
+    "RunFailure",
+    "execute_spec",
+    "run_specs",
+]
 
 #: default hard cap on one spec's wall time before the worker is killed
 DEFAULT_TIMEOUT_S = 900.0
@@ -63,7 +94,10 @@ SWEEP_KIND = "repro-sweep"
 #: entries when a cell begins executing, and a ``progress`` payload on
 #: completion entries (events executed, sim-time, events/sec — plus the
 #: SelfProfiler rate when that instrumentation was on).  v1 journals
-#: (no seq/ts/phase) remain readable by every consumer.
+#: (no seq/ts/phase) remain readable by every consumer.  Pool-executed
+#: sweeps additionally journal ``runner`` entries (fleet lifecycle:
+#: registered/lost/redispatch/degraded) and stamp a ``runner`` identity
+#: on ``spec_start``/``spec`` entries; non-pool consumers ignore both.
 JOURNAL_SCHEMA_VERSION = 2
 
 #: lifecycle phases a sweep cell moves through (journal ``phase`` values)
@@ -86,6 +120,44 @@ def _next_journal_seq(path: Path) -> int:
     return highest + 1
 
 
+class JournalLockError(RuntimeError):
+    """A second engine tried to write a sweep's journal concurrently."""
+
+
+def _acquire_journal_lock(path: Path) -> Optional[int]:
+    """Take the exclusive advisory lock asserting single-writer journal
+    ownership; returns the held fd.
+
+    Uses ``flock``, so the lock evaporates when the holding process dies
+    — a SIGKILLed sweep leaves a stale ``journal.jsonl.lock`` *file* but
+    no held lock, and ``repro resume`` acquires it without ceremony.  On
+    platforms without ``fcntl`` the lockfile is created but exclusion is
+    best-effort only.
+    """
+    fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-Unix
+        return fd
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        try:
+            holder = os.read(fd, 64).decode("ascii", "replace").strip()
+        except OSError:
+            holder = ""
+        os.close(fd)
+        raise JournalLockError(
+            f"{path}: held by pid {holder or 'unknown'} — another engine is "
+            "already writing this sweep's journal; two writers would "
+            "interleave seq numbers. Wait for it or point this run at a "
+            "different --results-dir."
+        ) from None
+    os.ftruncate(fd, 0)
+    os.write(fd, f"{os.getpid()}\n".encode())
+    return fd
+
+
 class RunFailure(RuntimeError):
     """A sweep had specs that failed even after retry."""
 
@@ -101,73 +173,14 @@ class RunFailure(RuntimeError):
 
 @dataclass
 class EngineEvent:
-    """One noteworthy execution event (crash, timeout, retry, failure)."""
+    """One noteworthy execution event (crash, timeout, retry, failure,
+    timeout-overrun warning)."""
 
     spec_key: str
-    kind: str          # "crash" | "exception" | "timeout" | "retry" | "failed"
+    kind: str          # "crash" | "exception" | "timeout" | "retry" | "failed" | "timeout_overrun"
     attempt: int
     detail: str = ""
     backoff_s: float = 0.0
-
-
-def execute_spec(spec: RunSpec, seed: int, attempt: int = 0) -> Dict[str, Any]:
-    """Resolve and invoke a spec's factory.  Runs inside the worker."""
-    factory = resolve(spec.factory)
-    params = spec.params_dict()
-    params["_attempt"] = attempt
-    return factory(params, seed, spec.warmup_ns, spec.measure_ns)
-
-
-def _execute_scoped(
-    spec: RunSpec, seed: int, attempt: int, ckpt: Optional[Dict[str, Any]]
-) -> Tuple[Dict[str, Any], int]:
-    """Run one spec, optionally inside a checkpoint scope.
-
-    Returns ``(measurements, checkpoint_restores)``.  ``ckpt`` is the
-    engine's checkpoint policy: ``{"dir", "sim_ns", "wall_s"}`` — with
-    both intervals None the scope is restore-only (leftover snapshots
-    from a killed run are consumed, no new ones written).
-    """
-    if ckpt is None:
-        return execute_spec(spec, seed, attempt), 0
-    from repro.resilience.checkpoint import checkpoint_scope
-
-    with checkpoint_scope(
-        Path(ckpt["dir"]),
-        spec.key,
-        every_sim_ns=ckpt.get("sim_ns"),
-        every_wall_s=ckpt.get("wall_s"),
-    ) as cctx:
-        measurements = execute_spec(spec, seed, attempt)
-    return measurements, cctx.restores
-
-
-def _worker_main(conn, spec: RunSpec, seed: int, attempt: int, ckpt=None) -> None:
-    """Worker-process entry: run one spec, ship the outcome, exit."""
-    try:
-        started = time.perf_counter()  # wallclock-ok: run wall-time metering
-        measurements, restores = _execute_scoped(spec, seed, attempt, ckpt)
-        conn.send(("ok", measurements, time.perf_counter() - started, restores))  # wallclock-ok: run wall-time metering
-    except BaseException:
-        try:
-            conn.send(("error", traceback.format_exc(limit=20), 0.0, 0))
-        except Exception:
-            pass
-    finally:
-        try:
-            conn.close()
-        except Exception:
-            pass
-
-
-@dataclass
-class _Active:
-    """Book-keeping for one in-flight worker process."""
-
-    index: int
-    attempt: int
-    proc: Any
-    deadline: Optional[float]
 
 
 class RunEngine:
@@ -187,6 +200,7 @@ class RunEngine:
         backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
         checkpoint_sim_ns: Optional[float] = None,
         checkpoint_wall_s: Optional[float] = None,
+        executor: Optional[Executor] = None,
     ):
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
         self.global_seed = global_seed
@@ -200,72 +214,86 @@ class RunEngine:
         self.backoff_cap_s = max(0.0, backoff_cap_s)
         self.checkpoint_sim_ns = checkpoint_sim_ns
         self.checkpoint_wall_s = checkpoint_wall_s
+        #: explicit execution backend; None picks local (jobs=1) or a
+        #: process pool (jobs>1), which is the pre-executor behaviour
+        self.executor = executor
         self.events: List[EngineEvent] = []
         #: spec keys quarantined (failed after full retry budget) last run
         self.quarantined: List[str] = []
+        #: executor-level fleet events (runner registered/lost/...) last run
+        self.runner_events: List[Dict[str, Any]] = []
         self._retry_hist: Dict[int, List[Dict[str, Any]]] = {}
         self._journal_path: Optional[Path] = None
         self._journal_seq = 0
+        self._journal_lock_fd: Optional[int] = None
+        self._executor_name = ""
 
     # ----------------------------------------------------------------- API
     def run(self, experiment: str, specs: Sequence[RunSpec]) -> List[RunRecord]:
         """Execute every spec; records come back in spec order."""
         self.events = []
         self.quarantined = []
+        self.runner_events = []
         self._retry_hist = {}
+        executor = self._resolve_executor()
+        self._executor_name = executor.name
         version = code_version()
         cache = ResultCache(self.results_dir) if self.use_cache else None
         self._begin_artifacts(experiment, specs, version)
-        records: List[Optional[RunRecord]] = [None] * len(specs)
-        done_count = 0
-        pending: List[int] = []
+        try:
+            records: List[Optional[RunRecord]] = [None] * len(specs)
+            done_count = 0
+            pending: List[int] = []
 
-        for i, spec in enumerate(specs):
-            hit = cache.get(spec.key, version) if cache is not None else None
-            if hit is not None:
-                record = RunRecord.from_json_dict(hit)
-                record.tags = list(spec.tags)       # tags are not part of the key
-                record.experiment = experiment
-                record.cached = True
+            for i, spec in enumerate(specs):
+                hit = cache.get(spec.key, version) if cache is not None else None
+                if hit is not None:
+                    record = RunRecord.from_json_dict(hit)
+                    record.tags = list(spec.tags)   # tags are not part of the key
+                    record.experiment = experiment
+                    record.cached = True
+                    records[i] = record
+                    done_count += 1
+                    self._journal("spec", record)
+                    self._emit_progress(done_count, len(specs), record)
+                else:
+                    pending.append(i)
+
+            def finish(i: int, record: RunRecord) -> None:
+                nonlocal done_count
+                record.retries = list(self._retry_hist.get(i, []))
+                record.timeout_s = self._effective_timeout(specs[i])
                 records[i] = record
                 done_count += 1
+                if record.ok:
+                    if cache is not None:
+                        cache.put(specs[i].key, version, record.to_json_dict())
+                    self._discard_checkpoints(specs[i])
+                else:
+                    record.quarantined = True
+                    self.quarantined.append(record.spec_key)
                 self._journal("spec", record)
                 self._emit_progress(done_count, len(specs), record)
-            else:
-                pending.append(i)
 
-        def finish(i: int, record: RunRecord) -> None:
-            nonlocal done_count
-            record.retries = list(self._retry_hist.get(i, []))
-            record.timeout_s = self._effective_timeout(specs[i])
-            records[i] = record
-            done_count += 1
-            if record.ok:
-                if cache is not None:
-                    cache.put(specs[i].key, version, record.to_json_dict())
-                self._discard_checkpoints(specs[i])
-            else:
-                record.quarantined = True
-                self.quarantined.append(record.spec_key)
-            self._journal("spec", record)
-            self._emit_progress(done_count, len(specs), record)
+            if pending:
+                self._run_pending(experiment, specs, pending, version, executor, finish)
 
-        if pending:
-            if self.jobs == 1:
-                for i in pending:
-                    finish(i, self._run_serial(experiment, specs[i], version, i))
-            else:
-                self._run_parallel(experiment, specs, pending, version, finish)
-
-        final = [r for r in records if r is not None]
-        assert len(final) == len(specs)
-        self._write_artifacts(experiment, specs, final)
-        failed = [r for r in final if not r.ok]
-        if failed and self.strict:
-            raise RunFailure(failed)
-        return final
+            final = [r for r in records if r is not None]
+            assert len(final) == len(specs)
+            self._write_artifacts(experiment, specs, final)
+            failed = [r for r in final if not r.ok]
+            if failed and self.strict:
+                raise RunFailure(failed)
+            return final
+        finally:
+            self._release_journal_lock()
 
     # ---------------------------------------------------------- supervision
+    def _resolve_executor(self) -> Executor:
+        if self.executor is not None:
+            return self.executor
+        return LocalExecutor() if self.jobs == 1 else ProcessExecutor(self.jobs)
+
     def _effective_timeout(self, spec: RunSpec) -> Optional[float]:
         return spec.timeout_s if spec.timeout_s is not None else self.timeout_s
 
@@ -307,71 +335,49 @@ class RunEngine:
             except OSError:
                 pass
 
-    # -------------------------------------------------------------- serial
-    def _run_serial(
-        self, experiment: str, spec: RunSpec, version: str, index: int
-    ) -> RunRecord:
-        """In-process execution (no subprocess, so no hang protection);
-        exceptions still get the same retry budget as worker crashes."""
-        record = RunRecord.for_spec(spec, self.global_seed, experiment, version)
-        ckpt = self._checkpoint_cfg()
-        for attempt in range(self.retries + 1):
-            try:
-                self._journal_spec_start(spec, attempt)
-                started = time.perf_counter()  # wallclock-ok: run wall-time metering
-                measurements, restores = _execute_scoped(
-                    spec, record.seed, attempt, ckpt
-                )
-                return self._complete(record, measurements,
-                                      time.perf_counter() - started,  # wallclock-ok: run wall-time metering
-                                      attempt + 1, restores)
-            except Exception:
-                detail = traceback.format_exc(limit=20)
-                self._note(spec, "exception", attempt, detail)
-                if attempt < self.retries:
-                    backoff = self._note_retry(index, spec, attempt + 1, "exception")
-                    if backoff > 0.0:
-                        time.sleep(backoff)
-        record.error = f"failed after {self.retries + 1} attempt(s): exception"
-        record.attempts = self.retries + 1
-        self._note(spec, "failed", self.retries, record.error)
-        return record
-
-    # ------------------------------------------------------------ parallel
-    def _run_parallel(
+    # ------------------------------------------------------ execution loop
+    def _run_pending(
         self,
         experiment: str,
         specs: Sequence[RunSpec],
         pending: List[int],
         version: str,
+        executor: Executor,
         finish: Callable[[int, RunRecord], None],
     ) -> None:
-        ctx = mp.get_context(
-            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        )
+        """Drive the executor until every pending cell has a record.
+
+        The engine journals cell starts, applies the retry/backoff/
+        quarantine policy to non-ok outcomes, and stamps execution
+        provenance (runner identity, timeout honesty) on records; the
+        executor decides where each cell runs.
+        """
         ckpt = self._checkpoint_cfg()
+        executor.start(self._on_executor_event)
         # (spec index, attempt, not-before monotonic time) — backoff keeps
         # a retried spec out of the launch loop without stalling siblings
         todo: List[Tuple[int, int, float]] = [(i, 0, 0.0) for i in pending]
-        active: Dict[Any, _Active] = {}
+        inflight: Dict[int, Tuple[int, int]] = {}    # task_id -> (index, attempt)
+        next_task_id = 0
 
         def fail_or_retry(index: int, attempt: int, kind: str, detail: str) -> None:
             spec = specs[index]
             self._note(spec, kind, attempt, detail)
             if attempt < self.retries:
                 backoff = self._note_retry(index, spec, attempt + 1, kind)
-                todo.append((index, attempt + 1, time.monotonic() + backoff))
+                todo.append((index, attempt + 1, time.monotonic() + backoff))  # wallclock-ok: retry backoff
             else:
                 record = RunRecord.for_spec(spec, self.global_seed, experiment, version)
                 record.attempts = attempt + 1
                 record.error = f"failed after {attempt + 1} attempt(s): {kind}"
+                record.timeout_enforced = executor.enforces_timeouts
                 self._note(spec, "failed", attempt, record.error)
                 finish(index, record)
 
         try:
-            while todo or active:
-                now = time.monotonic()
-                while todo and len(active) < self.jobs:
+            while todo or inflight:
+                now = time.monotonic()  # wallclock-ok: retry backoff
+                while todo and executor.free_slots() > 0:
                     slot = next(
                         (j for j, t in enumerate(todo) if t[2] <= now), None
                     )
@@ -379,75 +385,58 @@ class RunEngine:
                         break  # everything launchable is backing off
                     index, attempt, _ = todo.pop(slot)
                     spec = specs[index]
-                    seed = spec.derived_seed(self.global_seed)
-                    parent_conn, child_conn = ctx.Pipe(duplex=False)
-                    proc = ctx.Process(
-                        target=_worker_main,
-                        args=(child_conn, spec, seed, attempt, ckpt),
-                        daemon=True,
+                    task = CellTask(
+                        task_id=next_task_id,
+                        index=index,
+                        spec=spec,
+                        seed=spec.derived_seed(self.global_seed),
+                        attempt=attempt,
+                        ckpt=ckpt,
+                        timeout_s=self._effective_timeout(spec),
                     )
-                    proc.start()
-                    self._journal_spec_start(spec, attempt)
-                    child_conn.close()  # ours closes so worker exit yields EOF
-                    timeout = self._effective_timeout(spec)
-                    deadline = time.monotonic() + timeout if timeout else None
-                    active[parent_conn] = _Active(index, attempt, proc, deadline)
+                    next_task_id += 1
+                    placement = executor.submit(task)
+                    inflight[task.task_id] = (index, attempt)
+                    self._journal_spec_start(spec, attempt, runner=placement)
 
-                if active:
-                    ready = mp_connection.wait(list(active), timeout=0.05)
-                else:
-                    time.sleep(0.02)  # all pending retries are backing off
-                    ready = []
-                for conn in ready:
-                    state = active.pop(conn)
-                    msg: Optional[Tuple] = None
-                    try:
-                        msg = conn.recv()
-                    except (EOFError, OSError):
-                        msg = None
-                    conn.close()
-                    state.proc.join(timeout=5.0)
-                    spec = specs[state.index]
-                    if msg is None:
-                        fail_or_retry(
-                            state.index, state.attempt, "crash",
-                            f"worker exited with code {state.proc.exitcode}",
-                        )
-                    elif msg[0] == "ok":
+                for out in executor.poll(0.05):
+                    if out.task_id not in inflight:
+                        continue  # duplicate / stale outcome
+                    index, attempt = inflight.pop(out.task_id)
+                    spec = specs[index]
+                    if out.status == "ok":
+                        if out.timeout_overrun_s > 0.0:
+                            timeout = self._effective_timeout(spec)
+                            self._note(
+                                spec, "timeout_overrun", attempt,
+                                f"cell ran {out.timeout_overrun_s:.1f}s past its "
+                                f"unenforced {timeout:.1f}s timeout",
+                            )
                         record = RunRecord.for_spec(
                             spec, self.global_seed, experiment, version
                         )
-                        restores = msg[3] if len(msg) > 3 else 0
+                        record.runner = out.runner
+                        record.timeout_enforced = (
+                            out.enforced if out.enforced is not None
+                            else executor.enforces_timeouts
+                        )
                         finish(
-                            state.index,
+                            index,
                             self._complete(
-                                record, msg[1], msg[2], state.attempt + 1, restores
+                                record, out.measurements, out.wall_time_s,
+                                attempt + 1, out.checkpoint_restores,
                             ),
                         )
                     else:
-                        fail_or_retry(state.index, state.attempt, "exception", msg[1])
-
-                now = time.monotonic()
-                for conn, state in list(active.items()):
-                    if state.deadline is None or now <= state.deadline:
-                        continue
-                    # a result may have raced in just before the deadline
-                    if conn.poll():
-                        continue
-                    active.pop(conn)
-                    state.proc.kill()
-                    state.proc.join(timeout=5.0)
-                    conn.close()
-                    timeout = self._effective_timeout(specs[state.index])
-                    fail_or_retry(
-                        state.index, state.attempt, "timeout",
-                        f"killed after {timeout:.1f}s",
-                    )
+                        fail_or_retry(index, attempt, out.status, out.detail)
         finally:
-            for conn, state in active.items():
-                state.proc.kill()
-                state.proc.join(timeout=5.0)
-                conn.close()
+            executor.close()
+
+    def _on_executor_event(self, payload: Dict[str, Any]) -> None:
+        """Executor-level fleet event (runner registered/lost/redispatch/
+        degraded): journal it and keep it for the manifest."""
+        self.runner_events.append(dict(payload))
+        self._journal_emit({"kind": "runner", **payload}, durable=False)
 
     # ------------------------------------------------------------- helpers
     def _complete(
@@ -496,6 +485,9 @@ class RunEngine:
             return
         out_dir = self.results_dir / experiment
         out_dir.mkdir(parents=True, exist_ok=True)
+        # single-writer assertion first: refuse to touch a sweep another
+        # live engine is writing
+        self._journal_lock_fd = _acquire_journal_lock(out_dir / "journal.jsonl.lock")
         atomic_write_json(
             out_dir / "sweep.json",
             {
@@ -504,6 +496,7 @@ class RunEngine:
                 "experiment": experiment,
                 "global_seed": self.global_seed,
                 "jobs": self.jobs,
+                "executor": self._executor_name,
                 "timeout_s": self.timeout_s,
                 "retries": self.retries,
                 "checkpoint_sim_ns": self.checkpoint_sim_ns,
@@ -520,15 +513,27 @@ class RunEngine:
                 "n_specs": len(specs),
                 "global_seed": self.global_seed,
                 "code_version": version,
+                "executor": self._executor_name,
                 "journal_schema": JOURNAL_SCHEMA_VERSION,
             },
         )
+
+    def _release_journal_lock(self) -> None:
+        """Drop journal ownership (the lock *file* stays — see
+        :func:`_acquire_journal_lock`)."""
+        if self._journal_lock_fd is not None:
+            try:
+                os.close(self._journal_lock_fd)
+            except OSError:
+                pass
+            self._journal_lock_fd = None
 
     def _journal_emit(self, entry: Dict[str, Any], durable: bool = True) -> None:
         """Append one journal entry, stamping the v2 ``seq``/``ts`` pair.
 
         The engine is the journal's only writer (workers report over
-        pipes), so the in-process counter is globally monotone; appends
+        pipes or sockets; the lockfile enforces one engine per sweep
+        dir), so the in-process counter is globally monotone; appends
         go through :func:`append_jsonl` so tailing readers never see a
         torn line except, transiently, the very last one.
         """
@@ -539,16 +544,18 @@ class RunEngine:
         self._journal_seq += 1
         append_jsonl(self._journal_path, entry, durable=durable)
 
-    def _journal_spec_start(self, spec: RunSpec, attempt: int) -> None:
-        self._journal_emit(
-            {
-                "kind": "spec_start",
-                "spec_key": spec.key,
-                "attempt": attempt,
-                "phase": "running",
-            },
-            durable=False,
-        )
+    def _journal_spec_start(
+        self, spec: RunSpec, attempt: int, runner: Optional[str] = None
+    ) -> None:
+        entry = {
+            "kind": "spec_start",
+            "spec_key": spec.key,
+            "attempt": attempt,
+            "phase": "running",
+        }
+        if runner is not None:
+            entry["runner"] = runner
+        self._journal_emit(entry, durable=False)
 
     def _journal(self, kind: str, record: RunRecord) -> None:
         if record.cached:
@@ -557,20 +564,20 @@ class RunEngine:
             phase = "done"
         else:
             phase = "quarantined"
-        self._journal_emit(
-            {
-                "kind": kind,
-                "spec_key": record.spec_key,
-                "phase": phase,
-                "ok": record.ok,
-                "cached": record.cached,
-                "attempts": record.attempts,
-                "checkpoint_restores": record.checkpoint_restores,
-                "wall_time_s": round(record.wall_time_s, 4),
-                "progress": record.progress_payload(),
-            },
-            durable=False,
-        )
+        entry = {
+            "kind": kind,
+            "spec_key": record.spec_key,
+            "phase": phase,
+            "ok": record.ok,
+            "cached": record.cached,
+            "attempts": record.attempts,
+            "checkpoint_restores": record.checkpoint_restores,
+            "wall_time_s": round(record.wall_time_s, 4),
+            "progress": record.progress_payload(),
+        }
+        if record.runner is not None:
+            entry["runner"] = record.runner
+        self._journal_emit(entry, durable=False)
 
     def _write_artifacts(
         self, experiment: str, specs: Sequence[RunSpec], records: List[RunRecord]
@@ -588,6 +595,7 @@ class RunEngine:
             "experiment": experiment,
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "jobs": self.jobs,
+            "executor": self._executor_name,
             "global_seed": self.global_seed,
             "code_version": code_version(),
             "n_specs": len(specs),
@@ -596,6 +604,7 @@ class RunEngine:
             "quarantined": list(self.quarantined),
             "timeout_s": self.timeout_s,
             "retries": self.retries,
+            "runner_events": list(self.runner_events),
             "events": [
                 {
                     "spec": e.spec_key[:16],
@@ -616,6 +625,7 @@ class RunEngine:
                     "attempts": r.attempts,
                     "retries": r.retries,
                     "checkpoint_restores": r.checkpoint_restores,
+                    "runner": r.runner,
                     "wall_time_s": round(r.wall_time_s, 4),
                     "events_per_sec": round(r.events_per_sec, 1),
                 }

@@ -1,0 +1,73 @@
+"""Pluggable execution backends for the RunEngine.
+
+See :mod:`repro.runner.executors.base` for the protocol.  The engine
+picks a default from its ``jobs`` setting (``jobs=1`` → local,
+otherwise a process pool); :func:`make_executor` maps CLI names to
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runner.executors.base import (
+    OUTCOME_STATES,
+    CellOutcome,
+    CellTask,
+    Executor,
+    LocalExecutor,
+    execute_scoped,
+    execute_spec,
+    run_task_inline,
+)
+from repro.runner.executors.process import ProcessExecutor
+from repro.runner.executors.socketpool import PROTOCOL_VERSION, SocketExecutor, serve
+
+#: CLI names accepted by ``--executor``
+EXECUTOR_NAMES = ("auto", "local", "process", "socket")
+
+
+def make_executor(
+    name: str,
+    jobs: int = 1,
+    runners: Optional[List[str]] = None,
+    **socket_kwargs,
+) -> Optional[Executor]:
+    """Build an executor from its CLI name.
+
+    ``auto`` returns None — the engine then picks local/process from its
+    ``jobs`` setting, today's behaviour.  ``socket`` requires ``runners``
+    (a list of ``host:port``); extra kwargs go to :class:`SocketExecutor`.
+    """
+    if name == "auto":
+        if runners:
+            name = "socket"
+        else:
+            return None
+    if name == "local":
+        return LocalExecutor()
+    if name == "process":
+        return ProcessExecutor(jobs=jobs)
+    if name == "socket":
+        if not runners:
+            raise ValueError("--executor socket requires --runners host:port[,host:port...]")
+        return SocketExecutor(runners, **socket_kwargs)
+    raise ValueError(f"unknown executor {name!r} (expected one of {EXECUTOR_NAMES})")
+
+
+__all__ = [
+    "OUTCOME_STATES",
+    "PROTOCOL_VERSION",
+    "EXECUTOR_NAMES",
+    "CellOutcome",
+    "CellTask",
+    "Executor",
+    "LocalExecutor",
+    "ProcessExecutor",
+    "SocketExecutor",
+    "execute_scoped",
+    "execute_spec",
+    "make_executor",
+    "run_task_inline",
+    "serve",
+]

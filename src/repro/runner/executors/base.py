@@ -1,0 +1,222 @@
+"""The executor protocol: placement and transport for sweep cells.
+
+The :class:`~repro.runner.engine.RunEngine` owns *supervision* — retry
+budgets, backoff, quarantine, the journal, records, the cache.  What it
+delegates is *where a cell runs and how its outcome travels back*: that
+is an :class:`Executor`.
+
+The contract is deliberately tiny so every execution backend (in-process,
+local process pool, remote socket pool) looks the same to the engine:
+
+* ``start(notify)`` — acquire resources; ``notify`` is the engine's
+  journal hook for executor-level events (runner registration/loss).
+* ``free_slots()`` — how many more :class:`CellTask`\\ s may be submitted
+  right now.
+* ``submit(task)`` — place one cell; returns a placement label (runner
+  identity) for the journal, or ``None`` when placement has no name.
+* ``poll(timeout_s)`` — outcomes that completed since the last poll,
+  waiting at most ``timeout_s`` when none are ready.
+* ``close()`` — tear down (kill stragglers, close connections).
+
+Executors never retry: a lost or failed cell comes back as a
+:class:`CellOutcome` with a non-``ok`` status and the engine decides.
+The one exception is transport-level re-dispatch in the socket pool —
+losing a *runner* is not the cell's fault, so the coordinator replays
+lost cells onto surviving runners without consuming the engine's retry
+budget (see :mod:`repro.runner.executors.socketpool`).
+
+Determinism is executor-independent by construction: a cell's scenario
+seed derives from ``(global_seed, spec key)`` before submission, so the
+same spec produces bit-identical measurements wherever it executes.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.runner.registry import resolve
+from repro.runner.spec import RunSpec
+
+#: outcome states an executor may report (mirrors EngineEvent kinds)
+OUTCOME_STATES = ("ok", "exception", "crash", "timeout")
+
+#: signature of the engine's executor-event journal hook
+NotifyFn = Callable[[Dict[str, Any]], None]
+
+
+def execute_spec(spec: RunSpec, seed: int, attempt: int = 0) -> Dict[str, Any]:
+    """Resolve and invoke a spec's factory.  Runs wherever the cell runs."""
+    factory = resolve(spec.factory)
+    params = spec.params_dict()
+    params["_attempt"] = attempt
+    return factory(params, seed, spec.warmup_ns, spec.measure_ns)
+
+
+def execute_scoped(
+    spec: RunSpec, seed: int, attempt: int, ckpt: Optional[Dict[str, Any]]
+) -> Tuple[Dict[str, Any], int]:
+    """Run one spec, optionally inside a checkpoint scope.
+
+    Returns ``(measurements, checkpoint_restores)``.  ``ckpt`` is the
+    engine's checkpoint policy: ``{"dir", "sim_ns", "wall_s"}`` — with
+    both intervals None the scope is restore-only (leftover snapshots
+    from a killed run are consumed, no new ones written).
+    """
+    if ckpt is None:
+        return execute_spec(spec, seed, attempt), 0
+    from repro.resilience.checkpoint import checkpoint_scope
+
+    with checkpoint_scope(
+        Path(ckpt["dir"]),
+        spec.key,
+        every_sim_ns=ckpt.get("sim_ns"),
+        every_wall_s=ckpt.get("wall_s"),
+    ) as cctx:
+        measurements = execute_spec(spec, seed, attempt)
+    return measurements, cctx.restores
+
+
+@dataclass
+class CellTask:
+    """One placement request: everything a backend needs to run a cell."""
+
+    task_id: int                     # unique within one engine run
+    index: int                       # position in the sweep's spec list
+    spec: RunSpec
+    seed: int                        # derived seed, computed by the engine
+    attempt: int                     # 0-based supervision attempt
+    ckpt: Optional[Dict[str, Any]]   # checkpoint policy, or None
+    timeout_s: Optional[float]       # wall-clock cap, or None
+
+
+@dataclass
+class CellOutcome:
+    """What came back for one :class:`CellTask`."""
+
+    task_id: int
+    status: str                      # one of OUTCOME_STATES
+    measurements: Optional[Dict[str, Any]] = None
+    wall_time_s: float = 0.0
+    checkpoint_restores: int = 0
+    detail: str = ""                 # traceback / diagnosis for failures
+    runner: Optional[str] = None     # identity of whoever executed the cell
+    #: wall seconds the cell ran *past* an unenforced timeout (in-process
+    #: execution only — honesty marker, not a failure)
+    timeout_overrun_s: float = 0.0
+    #: per-outcome override of the executor's ``enforces_timeouts`` (the
+    #: socket pool's drained-fleet fallback runs cells in-process, where
+    #: the timeout is *not* enforced even though the pool's normally is)
+    enforced: Optional[bool] = None
+
+
+def run_task_inline(task: CellTask, runner: Optional[str] = None) -> CellOutcome:
+    """Execute a task synchronously in this process.
+
+    Shared by :class:`LocalExecutor` and the socket pool's drained-fleet
+    fallback.  No hang protection: an unenforced timeout is *measured*
+    and reported via ``timeout_overrun_s`` instead of killing anything.
+    """
+    started = time.perf_counter()  # wallclock-ok: run wall-time metering
+    try:
+        measurements, restores = execute_scoped(
+            task.spec, task.seed, task.attempt, task.ckpt
+        )
+    except Exception:
+        return CellOutcome(
+            task_id=task.task_id,
+            status="exception",
+            detail=traceback.format_exc(limit=20),
+            runner=runner,
+            enforced=False,
+        )
+    wall = time.perf_counter() - started  # wallclock-ok: run wall-time metering
+    overrun = 0.0
+    if task.timeout_s is not None and wall > task.timeout_s:
+        overrun = wall - task.timeout_s
+    return CellOutcome(
+        task_id=task.task_id,
+        status="ok",
+        measurements=measurements,
+        wall_time_s=wall,
+        checkpoint_restores=restores,
+        runner=runner,
+        timeout_overrun_s=overrun,
+        enforced=False,
+    )
+
+
+class Executor:
+    """Base class / protocol; see the module docstring for the contract."""
+
+    #: short backend name, recorded in sweep.json and the manifest
+    name = "abstract"
+    #: whether a cell exceeding ``timeout_s`` is actually killed.  The
+    #: engine stamps this on every executed record as ``timeout_enforced``
+    #: so artifacts never imply hang protection that is not there.
+    enforces_timeouts = True
+
+    def start(self, notify: NotifyFn) -> None:  # pragma: no cover - interface
+        self._notify = notify
+
+    def free_slots(self) -> int:
+        raise NotImplementedError
+
+    def submit(self, task: CellTask) -> Optional[str]:
+        raise NotImplementedError
+
+    def poll(self, timeout_s: float) -> List[CellOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - interface
+        pass
+
+    def notify(self, payload: Dict[str, Any]) -> None:
+        hook = getattr(self, "_notify", None)
+        if hook is not None:
+            hook(payload)
+
+
+class LocalExecutor(Executor):
+    """Today's in-process path: one cell at a time, no subprocesses.
+
+    Kept for debugging (plain tracebacks, no fork) and as the degradation
+    target when a socket fleet drains.  There is **no hang protection**:
+    ``timeout_s`` is recorded but not enforced, which the engine surfaces
+    as ``timeout_enforced: false`` on records plus a ``timeout_overrun``
+    journal event when a cell runs past its cap.
+    """
+
+    name = "local"
+    enforces_timeouts = False
+
+    def __init__(self) -> None:
+        self._queued: List[CellTask] = []
+
+    def start(self, notify: NotifyFn) -> None:
+        self._notify = notify
+        self._queued = []
+
+    def free_slots(self) -> int:
+        return 0 if self._queued else 1
+
+    def submit(self, task: CellTask) -> Optional[str]:
+        # execution is deferred to poll() so the engine journals the
+        # cell's spec_start *before* the cell runs, exactly like the
+        # subprocess backends
+        self._queued.append(task)
+        return None
+
+    def poll(self, timeout_s: float) -> List[CellOutcome]:
+        if not self._queued:
+            if timeout_s > 0:
+                time.sleep(timeout_s)
+            return []
+        task = self._queued.pop(0)
+        return [run_task_inline(task)]
+
+    def close(self) -> None:
+        self._queued = []

@@ -1,0 +1,154 @@
+"""ProcessExecutor: the local multiprocessing pool.
+
+This is the former ``RunEngine._run_parallel`` transport, extracted
+behind the :class:`~repro.runner.executors.base.Executor` protocol.
+Each cell runs in its own forked worker with a one-shot pipe back to
+the coordinator, which gives real crash isolation (a segfaulting C
+extension kills the worker, not the sweep) and enforceable wall-clock
+timeouts (the coordinator SIGKILLs a worker past its deadline).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runner.executors.base import CellOutcome, CellTask, Executor, NotifyFn, execute_scoped
+from repro.runner.spec import RunSpec
+
+
+def _worker_main(
+    conn,
+    spec: RunSpec,
+    seed: int,
+    attempt: int,
+    ckpt: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Subprocess entry point: run one spec, ship the result back.
+
+    Shared with the socket runner (:mod:`.socketpool`), whose serve loop
+    forks the same worker per task for crash isolation.
+    """
+    try:
+        started = time.perf_counter()  # wallclock-ok: run wall-time metering
+        measurements, restores = execute_scoped(spec, seed, attempt, ckpt)
+        conn.send(("ok", measurements, time.perf_counter() - started, restores))  # wallclock-ok: run wall-time metering
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(limit=20), 0.0, 0))
+        except Exception:
+            pass
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class ProcessExecutor(Executor):
+    """Up to ``jobs`` concurrent forked workers on this host."""
+
+    name = "process"
+    enforces_timeouts = True
+
+    def __init__(self, jobs: int = 2) -> None:
+        self.jobs = max(1, int(jobs))
+        # conn -> (task, process, deadline-or-None)
+        self._active: Dict[Any, Tuple[CellTask, Any, Optional[float]]] = {}
+        self._ctx = None
+
+    def start(self, notify: NotifyFn) -> None:
+        self._notify = notify
+        # fork keeps the registry (and any test-local factories) visible
+        # to workers; spawn is the fallback where fork is unavailable
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._active = {}
+
+    def free_slots(self) -> int:
+        return self.jobs - len(self._active)
+
+    def submit(self, task: CellTask) -> Optional[str]:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, task.spec, task.seed, task.attempt, task.ckpt),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = None
+        if task.timeout_s is not None:
+            # wallclock-ok: timeout deadline
+            deadline = time.monotonic() + task.timeout_s
+        self._active[parent_conn] = (task, proc, deadline)
+        return None
+
+    def poll(self, timeout_s: float) -> List[CellOutcome]:
+        if not self._active:
+            if timeout_s > 0:
+                time.sleep(timeout_s)
+            return []
+        outcomes: List[CellOutcome] = []
+        ready = mp_connection.wait(list(self._active), timeout=timeout_s)
+        for conn in ready:
+            task, proc, _ = self._active.pop(conn)
+            msg: Optional[Tuple] = None
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                msg = None
+            conn.close()
+            proc.join(timeout=5.0)
+            if msg is None:
+                outcomes.append(
+                    CellOutcome(
+                        task_id=task.task_id,
+                        status="crash",
+                        detail=f"worker exited with code {proc.exitcode}",
+                    )
+                )
+            elif msg[0] == "ok":
+                restores = msg[3] if len(msg) > 3 else 0
+                outcomes.append(
+                    CellOutcome(
+                        task_id=task.task_id,
+                        status="ok",
+                        measurements=msg[1],
+                        wall_time_s=msg[2],
+                        checkpoint_restores=restores,
+                    )
+                )
+            else:
+                outcomes.append(
+                    CellOutcome(task_id=task.task_id, status="exception", detail=msg[1])
+                )
+        now = time.monotonic()  # wallclock-ok: timeout deadline
+        for conn, (task, proc, deadline) in list(self._active.items()):
+            if deadline is None or now <= deadline:
+                continue
+            # a result may have raced in just before the deadline
+            if conn.poll():
+                continue
+            del self._active[conn]
+            proc.kill()
+            proc.join(timeout=5.0)
+            conn.close()
+            outcomes.append(
+                CellOutcome(
+                    task_id=task.task_id,
+                    status="timeout",
+                    detail=f"killed after {task.timeout_s:.1f}s",
+                )
+            )
+        return outcomes
+
+    def close(self) -> None:
+        for conn, (_, proc, _) in self._active.items():
+            proc.kill()
+            proc.join(timeout=5.0)
+            conn.close()
+        self._active = {}

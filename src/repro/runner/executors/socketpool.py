@@ -1,0 +1,670 @@
+"""SocketExecutor + ``repro runner serve``: a fault-tolerant runner pool.
+
+The distributed half of ROADMAP item 3.  A *runner* is a long-lived
+process started with ``repro runner serve`` that listens on a TCP port;
+the *coordinator* (a :class:`SocketExecutor` inside the sweep's
+``RunEngine``) connects to a fixed list of runners and shards cells
+across them.
+
+Wire format — newline-delimited JSON over TCP, one object per line:
+
+===============  ==========  ==============================================
+message          direction   fields
+===============  ==========  ==============================================
+``hello``        C → R       ``protocol``, ``heartbeat_s``
+``register``     R → C       ``protocol``, ``runner_id``, ``slots``, ``pid``
+``run``          C → R       ``task_id``, ``spec`` (RunSpec JSON), ``seed``,
+                             ``attempt``, ``ckpt``, ``timeout_s``
+``result``       R → C       ``task_id``, ``status``, ``measurements``,
+                             ``wall_time_s``, ``checkpoint_restores``,
+                             ``detail``
+``heartbeat``    R → C       ``runner_id``, ``inflight``
+``shutdown``     C → R       ``reason``
+===============  ==========  ==============================================
+
+Failure model.  A runner is declared **lost** when its connection EOFs
+or errors (a SIGKILLed runner closes the socket immediately), or when no
+heartbeat arrives for a full *lease* (default ``3 × heartbeat_s`` —
+covers hangs and network partitions where the socket stays open), or
+when a cell is still unreported well past its enforced timeout.  Cells
+in flight on a lost runner are **re-dispatched** to surviving runners
+with bounded exponential backoff; because a cell's seed derives from
+``(global_seed, spec key)`` and checkpoints are content-addressed on the
+spec key, re-execution anywhere — from a PR-5 checkpoint when one is
+visible on the results filesystem, from scratch otherwise — produces
+bit-identical measurements.  Re-dispatch is transport-level repair and
+does **not** consume the engine's retry budget; only a cell that
+*itself* fails (exception / crash / timeout inside a healthy runner, or
+a cell exceeding the re-dispatch cap) surfaces to the engine's
+retry/quarantine supervision.  When the fleet drains to zero live
+runners the coordinator degrades to in-process execution so the sweep
+still completes (hang protection is lost there and records say so via
+``timeout_enforced``).
+
+Runners execute each cell in a forked child process (the same
+``_worker_main`` as :class:`~repro.runner.executors.process.ProcessExecutor`),
+so a crashing cell kills the child, not the runner, and runner-side
+timeouts are enforced by killing the child.  Checkpoint handoff between
+runners requires a shared results filesystem; without one the cell
+simply re-runs from its derived seed — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import socket
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runner.executors.base import (
+    CellOutcome,
+    CellTask,
+    Executor,
+    NotifyFn,
+    run_task_inline,
+)
+from repro.runner.executors.process import _worker_main
+from repro.runner.spec import RunSpec
+
+PROTOCOL_VERSION = 1
+
+#: coordinator defaults (overridable per SocketExecutor)
+DEFAULT_HEARTBEAT_S = 1.0
+DEFAULT_LEASE_FACTOR = 3.0
+DEFAULT_MAX_REDISPATCH = 3
+DEFAULT_REDISPATCH_BACKOFF_S = 0.25
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
+_RECV_CHUNK = 1 << 16
+
+
+class _LineChannel:
+    """Newline-delimited JSON over one blocking TCP socket.
+
+    Reads are select-driven: callers only invoke :meth:`recv_ready`
+    after the socket polled readable, and it issues exactly one
+    ``recv()`` — partial lines stay buffered until the next readiness.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buf = b""
+
+    def fileno(self) -> int:
+        return self.sock.fileno()
+
+    def send(self, obj: Dict[str, Any]) -> None:
+        line = json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+        self.sock.sendall(line)
+
+    def _split(self) -> List[Dict[str, Any]]:
+        msgs = []
+        while b"\n" in self._buf:
+            line, self._buf = self._buf.split(b"\n", 1)
+            if line.strip():
+                msgs.append(json.loads(line))
+        return msgs
+
+    def recv_ready(self) -> Optional[List[Dict[str, Any]]]:
+        """One recv's worth of complete messages; ``None`` on EOF/error."""
+        try:
+            data = self.sock.recv(_RECV_CHUNK)
+        except OSError:
+            return None
+        if not data:
+            return None
+        self._buf += data
+        return self._split()
+
+    def recv_one(self, timeout_s: float) -> Optional[Dict[str, Any]]:
+        """Block up to ``timeout_s`` for one message (handshake only)."""
+        deadline = time.monotonic() + timeout_s  # wallclock-ok: handshake deadline
+        while True:
+            msgs = self._split()
+            if msgs:
+                return msgs[0]
+            remaining = deadline - time.monotonic()  # wallclock-ok: handshake deadline
+            if remaining <= 0:
+                return None
+            self.sock.settimeout(remaining)
+            try:
+                data = self.sock.recv(_RECV_CHUNK)
+            except (socket.timeout, OSError):
+                return None
+            finally:
+                self.sock.settimeout(None)
+            if not data:
+                return None
+            self._buf += data
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+@dataclass
+class _Runner:
+    """Coordinator-side view of one registered runner."""
+
+    runner_id: str
+    addr: str
+    chan: _LineChannel
+    slots: int
+    pid: int
+    alive: bool = True
+    last_heard: float = 0.0                       # monotonic
+    inflight: Dict[int, CellTask] = field(default_factory=dict)
+    dispatched_at: Dict[int, float] = field(default_factory=dict)
+
+    def load(self) -> float:
+        return len(self.inflight) / max(1, self.slots)
+
+
+class SocketExecutor(Executor):
+    """Coordinator for a fixed fleet of ``repro runner serve`` runners.
+
+    ``runners`` is a list of ``host:port`` addresses.  The fleet is
+    fixed for one engine run — runners that die are never re-admitted
+    mid-sweep (a fresh ``run()`` reconnects from scratch).
+    """
+
+    name = "socket"
+    enforces_timeouts = True
+
+    def __init__(
+        self,
+        runners: List[str],
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        lease_s: Optional[float] = None,
+        max_redispatch: int = DEFAULT_MAX_REDISPATCH,
+        redispatch_backoff_s: float = DEFAULT_REDISPATCH_BACKOFF_S,
+        connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+    ) -> None:
+        self.addrs = [a.strip() for a in runners if a.strip()]
+        if not self.addrs:
+            raise ValueError("SocketExecutor needs at least one runner address")
+        self.heartbeat_s = heartbeat_s
+        self.lease_s = lease_s if lease_s is not None else DEFAULT_LEASE_FACTOR * heartbeat_s
+        self.max_redispatch = max(0, max_redispatch)
+        self.redispatch_backoff_s = max(0.0, redispatch_backoff_s)
+        self.connect_timeout_s = connect_timeout_s
+        self._runners: List[_Runner] = []
+        self._tasks: Dict[int, CellTask] = {}
+        self._redispatches: Dict[int, int] = {}
+        self._pending: List[Tuple[CellTask, float]] = []   # (task, not-before)
+        self._inline: List[CellTask] = []                  # degraded-mode queue
+        self._buffered: List[CellOutcome] = []
+        self._done: set = set()
+        self._degraded = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self, notify: NotifyFn) -> None:
+        self._notify = notify
+        self._runners = []
+        self._tasks = {}
+        self._redispatches = {}
+        self._pending = []
+        self._inline = []
+        self._buffered = []
+        self._done = set()
+        self._degraded = False
+        for addr in self.addrs:
+            runner = self._connect(addr)
+            if runner is not None:
+                self._runners.append(runner)
+        if not self._runners:
+            raise RuntimeError(
+                f"no runners reachable at {', '.join(self.addrs)} — "
+                "start them with `repro runner serve`"
+            )
+
+    def _connect(self, addr: str) -> Optional[_Runner]:
+        host, _, port = addr.rpartition(":")
+        try:
+            sock = socket.create_connection((host, int(port)), timeout=self.connect_timeout_s)
+        except OSError as exc:
+            self.notify({"event": "unreachable", "addr": addr, "detail": str(exc)})
+            return None
+        sock.settimeout(None)
+        chan = _LineChannel(sock)
+        try:
+            chan.send(
+                {
+                    "kind": "hello",
+                    "protocol": PROTOCOL_VERSION,
+                    "heartbeat_s": self.heartbeat_s,
+                }
+            )
+            reg = chan.recv_one(self.connect_timeout_s)
+        except OSError:
+            reg = None
+        if (
+            reg is None
+            or reg.get("kind") != "register"
+            or reg.get("protocol") != PROTOCOL_VERSION
+        ):
+            self.notify({"event": "unreachable", "addr": addr, "detail": f"bad handshake: {reg!r}"})
+            chan.close()
+            return None
+        runner = _Runner(
+            runner_id=str(reg.get("runner_id", addr)),
+            addr=addr,
+            chan=chan,
+            slots=max(1, int(reg.get("slots", 1))),
+            pid=int(reg.get("pid", 0)),
+            last_heard=time.monotonic(),  # wallclock-ok: lease bookkeeping
+        )
+        self.notify(
+            {
+                "event": "registered",
+                "runner": runner.runner_id,
+                "addr": addr,
+                "slots": runner.slots,
+                "pid": runner.pid,
+            }
+        )
+        return runner
+
+    def close(self) -> None:
+        for runner in self._runners:
+            if runner.alive:
+                try:
+                    runner.chan.send({"kind": "shutdown", "reason": "sweep complete"})
+                except OSError:
+                    pass
+                runner.chan.close()
+        self._runners = []
+
+    # ------------------------------------------------------------ placement
+    def _live(self) -> List[_Runner]:
+        return [r for r in self._runners if r.alive]
+
+    def free_slots(self) -> int:
+        live = self._live()
+        if not live:
+            # degraded: one-at-a-time in-process, like LocalExecutor
+            return 0 if (self._inline or self._pending) else 1
+        free = sum(max(0, r.slots - len(r.inflight)) for r in live)
+        return max(0, free - len(self._pending))
+
+    def submit(self, task: CellTask) -> Optional[str]:
+        self._tasks[task.task_id] = task
+        return self._dispatch(task)
+
+    def _dispatch(self, task: CellTask) -> Optional[str]:
+        """Place one task on the least-loaded live runner.  Fleet gone →
+        queue for in-process execution; fleet merely saturated (a runner
+        died while its peers were busy) → park until a slot frees."""
+        while True:
+            live = self._live()
+            if not live:
+                self._enter_degraded()
+                self._inline.append(task)
+                return "local"
+            candidates = sorted(
+                (r for r in live if len(r.inflight) < r.slots),
+                key=lambda r: (r.load(), r.addr),
+            )
+            if not candidates:
+                # wallclock-ok: retried on the next poll tick
+                self._pending.append((task, time.monotonic()))
+                return None
+            runner = candidates[0]
+            msg = {
+                "kind": "run",
+                "task_id": task.task_id,
+                "spec": task.spec.to_json_dict(),
+                "seed": task.seed,
+                "attempt": task.attempt,
+                "ckpt": task.ckpt,
+                "timeout_s": task.timeout_s,
+            }
+            try:
+                runner.chan.send(msg)
+            except OSError:
+                self._lose(runner, "send failed")
+                continue
+            runner.inflight[task.task_id] = task
+            # wallclock-ok: overdue-cell backstop
+            runner.dispatched_at[task.task_id] = time.monotonic()
+            return runner.runner_id
+
+    def _enter_degraded(self) -> None:
+        if not self._degraded:
+            self._degraded = True
+            self.notify(
+                {
+                    "event": "degraded",
+                    "detail": "fleet drained to zero live runners; "
+                    "continuing in-process without hang protection",
+                }
+            )
+
+    # -------------------------------------------------------------- failure
+    def _lose(self, runner: _Runner, reason: str) -> None:
+        if not runner.alive:
+            return
+        runner.alive = False
+        runner.chan.close()
+        orphans = list(runner.inflight.values())
+        runner.inflight.clear()
+        runner.dispatched_at.clear()
+        self.notify(
+            {
+                "event": "lost",
+                "runner": runner.runner_id,
+                "reason": reason,
+                "inflight": len(orphans),
+            }
+        )
+        now = time.monotonic()  # wallclock-ok: redispatch backoff
+        for task in orphans:
+            if task.task_id in self._done:
+                continue
+            n = self._redispatches.get(task.task_id, 0) + 1
+            self._redispatches[task.task_id] = n
+            if n > self.max_redispatch:
+                self._buffered.append(
+                    CellOutcome(
+                        task_id=task.task_id,
+                        status="crash",
+                        detail=(
+                            f"runner pool lost this cell {n} times "
+                            f"(last: {runner.runner_id} {reason}); "
+                            "re-dispatch budget exhausted"
+                        ),
+                        runner=runner.runner_id,
+                    )
+                )
+            else:
+                backoff = min(30.0, self.redispatch_backoff_s * 2 ** (n - 1))
+                self._pending.append((task, now + backoff))
+
+    # ---------------------------------------------------------------- poll
+    def poll(self, timeout_s: float) -> List[CellOutcome]:
+        outcomes: List[CellOutcome] = []
+        now = time.monotonic()  # wallclock-ok: scheduling clock
+
+        # re-dispatch lost/parked cells whose backoff has elapsed; swap the
+        # queue out first — _dispatch/_lose may append to it as we go
+        pending = self._pending
+        self._pending = []
+        for task, not_before in pending:
+            if not_before > now:
+                self._pending.append((task, not_before))
+                continue
+            target = self._dispatch(task)
+            if target is not None and self._redispatches.get(task.task_id):
+                self.notify(
+                    {
+                        "event": "redispatch",
+                        "spec_key": task.spec.key,
+                        "attempt": task.attempt,
+                        "runner": target,
+                        "n": self._redispatches[task.task_id],
+                    }
+                )
+
+        # degraded mode: execute one queued cell in-process per poll
+        if self._inline and not self._live():
+            task = self._inline.pop(0)
+            out = run_task_inline(task, runner="local")
+            self._done.add(task.task_id)
+            outcomes.append(out)
+
+        # drain runner sockets
+        live = self._live()
+        if live:
+            chans = {r.chan.sock: r for r in live}
+            try:
+                ready = mp_connection.wait(list(chans), timeout=timeout_s)
+            except OSError:
+                ready = []
+            for sock in ready:
+                runner = chans[sock]
+                msgs = runner.chan.recv_ready()
+                if msgs is None:
+                    self._lose(runner, "connection lost")
+                    continue
+                runner.last_heard = time.monotonic()  # wallclock-ok: lease bookkeeping
+                for msg in msgs:
+                    self._handle(runner, msg, outcomes)
+        elif not outcomes and not self._inline and not self._pending:
+            if timeout_s > 0:
+                time.sleep(timeout_s)
+
+        # lease expiry + overdue-cell backstop
+        now = time.monotonic()  # wallclock-ok: lease bookkeeping
+        for runner in self._live():
+            if now - runner.last_heard > self.lease_s:
+                self._lose(runner, f"lease expired ({self.lease_s:.1f}s without heartbeat)")
+                continue
+            for task_id, at in list(runner.dispatched_at.items()):
+                task = runner.inflight.get(task_id)
+                if task is None or task.timeout_s is None:
+                    continue
+                if now - at > task.timeout_s + 2 * self.lease_s:
+                    self._lose(runner, "cell overdue past enforced timeout")
+                    break
+
+        outcomes.extend(self._buffered)
+        self._buffered = []
+        return outcomes
+
+    def _handle(self, runner: _Runner, msg: Dict[str, Any], outcomes: List[CellOutcome]) -> None:
+        kind = msg.get("kind")
+        if kind == "heartbeat":
+            return
+        if kind != "result":
+            return
+        task_id = msg.get("task_id")
+        if task_id in self._done or task_id not in runner.inflight:
+            return
+        runner.inflight.pop(task_id, None)
+        runner.dispatched_at.pop(task_id, None)
+        self._done.add(task_id)
+        outcomes.append(
+            CellOutcome(
+                task_id=task_id,
+                status=msg.get("status", "crash"),
+                measurements=msg.get("measurements"),
+                wall_time_s=float(msg.get("wall_time_s", 0.0)),
+                checkpoint_restores=int(msg.get("checkpoint_restores", 0)),
+                detail=msg.get("detail", ""),
+                runner=runner.runner_id,
+            )
+        )
+
+
+# --------------------------------------------------------------------------
+# runner side: `repro runner serve`
+# --------------------------------------------------------------------------
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    slots: int = 1,
+    runner_id: Optional[str] = None,
+    once: bool = False,
+) -> int:
+    """Run a runner: listen, serve one coordinator session at a time.
+
+    Prints ``repro-runner <id> listening on <host>:<port> (slots=N)`` on
+    startup so wrappers (tests, CI) can scrape the bound port when
+    ``port=0``.  Returns 0; runs until interrupted unless ``once``.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(1)
+    bound_port = listener.getsockname()[1]
+    rid = runner_id or f"{socket.gethostname()}:{bound_port}"
+    print(
+        f"repro-runner {rid} listening on {host}:{bound_port} (slots={slots})",
+        flush=True,
+    )
+    try:
+        while True:
+            conn, addr = listener.accept()
+            print(f"repro-runner {rid}: coordinator connected from {addr[0]}:{addr[1]}", flush=True)
+            _serve_session(conn, rid, slots)
+            print(f"repro-runner {rid}: session ended", flush=True)
+            if once:
+                break
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.close()
+    return 0
+
+
+@dataclass
+class _Child:
+    """Runner-side book-keeping for one executing cell."""
+
+    task_id: int
+    proc: Any
+    conn: Any
+    deadline: Optional[float]
+    timeout_s: Optional[float]
+
+
+def _serve_session(sock: socket.socket, rid: str, slots: int) -> None:
+    """One coordinator session: handshake, then run cells until EOF or
+    shutdown.  Cells execute in forked children so a crashing or hung
+    cell never takes the runner down."""
+    chan = _LineChannel(sock)
+    hello = chan.recv_one(DEFAULT_CONNECT_TIMEOUT_S)
+    if hello is None or hello.get("kind") != "hello" or hello.get("protocol") != PROTOCOL_VERSION:
+        chan.close()
+        return
+    heartbeat_s = float(hello.get("heartbeat_s", DEFAULT_HEARTBEAT_S))
+    chan.send(
+        {
+            "kind": "register",
+            "protocol": PROTOCOL_VERSION,
+            "runner_id": rid,
+            "slots": slots,
+            "pid": os.getpid(),
+        }
+    )
+    ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+    children: List[_Child] = []
+    next_hb = time.monotonic() + heartbeat_s  # wallclock-ok: heartbeat cadence
+    try:
+        while True:
+            now = time.monotonic()  # wallclock-ok: heartbeat cadence
+            if now >= next_hb:
+                try:
+                    chan.send(
+                        {"kind": "heartbeat", "runner_id": rid, "inflight": len(children)}
+                    )
+                except OSError:
+                    return  # coordinator gone
+                next_hb = now + heartbeat_s
+            waitables: List[Any] = [sock] + [c.conn for c in children]
+            try:
+                ready = mp_connection.wait(waitables, timeout=min(0.2, heartbeat_s / 2))
+            except OSError:
+                return
+            if sock in ready:
+                msgs = chan.recv_ready()
+                if msgs is None:
+                    return  # coordinator gone (EOF)
+                for msg in msgs:
+                    kind = msg.get("kind")
+                    if kind == "run":
+                        children.append(_launch(ctx, msg))
+                    elif kind == "shutdown":
+                        return
+            for child in [c for c in children if c.conn in ready]:
+                result = _reap(child)
+                children.remove(child)
+                try:
+                    chan.send(result)
+                except OSError:
+                    return
+            now = time.monotonic()  # wallclock-ok: timeout deadline
+            for child in list(children):
+                if child.deadline is None or now <= child.deadline:
+                    continue
+                if child.conn.poll():
+                    continue  # result raced in just before the deadline
+                children.remove(child)
+                child.proc.kill()
+                child.proc.join(timeout=5.0)
+                child.conn.close()
+                try:
+                    chan.send(
+                        {
+                            "kind": "result",
+                            "task_id": child.task_id,
+                            "status": "timeout",
+                            "detail": f"killed after {child.timeout_s:.1f}s",
+                        }
+                    )
+                except OSError:
+                    return
+    finally:
+        for child in children:
+            child.proc.kill()
+            child.proc.join(timeout=5.0)
+            child.conn.close()
+        chan.close()
+
+
+def _launch(ctx, msg: Dict[str, Any]) -> _Child:
+    spec = RunSpec.from_json_dict(msg["spec"])
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_worker_main,
+        args=(child_conn, spec, int(msg["seed"]), int(msg["attempt"]), msg.get("ckpt")),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    timeout_s = msg.get("timeout_s")
+    deadline = None
+    if timeout_s is not None:
+        deadline = time.monotonic() + float(timeout_s)  # wallclock-ok: timeout deadline
+    return _Child(int(msg["task_id"]), proc, parent_conn, deadline, timeout_s)
+
+
+def _reap(child: _Child) -> Dict[str, Any]:
+    """Collect a finished child's one-shot message as a result payload."""
+    msg: Optional[Tuple] = None
+    try:
+        msg = child.conn.recv()
+    except (EOFError, OSError):
+        msg = None
+    child.conn.close()
+    child.proc.join(timeout=5.0)
+    if msg is None:
+        return {
+            "kind": "result",
+            "task_id": child.task_id,
+            "status": "crash",
+            "detail": f"cell worker exited with code {child.proc.exitcode}",
+        }
+    if msg[0] == "ok":
+        return {
+            "kind": "result",
+            "task_id": child.task_id,
+            "status": "ok",
+            "measurements": msg[1],
+            "wall_time_s": msg[2],
+            "checkpoint_restores": msg[3] if len(msg) > 3 else 0,
+        }
+    return {
+        "kind": "result",
+        "task_id": child.task_id,
+        "status": "exception",
+        "detail": msg[1],
+    }

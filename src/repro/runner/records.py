@@ -122,9 +122,17 @@ class RunRecord:
     cached: bool = False
     error: Optional[str] = None
     timeout_s: Optional[float] = None
+    #: whether ``timeout_s`` was actually enforced (a worker past the cap
+    #: gets killed) or merely recorded.  In-process execution — the local
+    #: executor, or a socket pool degraded to it — has no hang
+    #: protection, and its records say so instead of implying it.
+    timeout_enforced: Optional[bool] = None
     retries: List[Dict[str, Any]] = field(default_factory=list)
     checkpoint_restores: int = 0
     quarantined: bool = False
+    #: identity of the pool runner that executed the cell (socket
+    #: executor; None for local/process execution)
+    runner: Optional[str] = None
 
     @property
     def ok(self) -> bool:

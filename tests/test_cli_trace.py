@@ -15,6 +15,7 @@ class TestCli:
             "throughput", "latency", "multiflow", "memcached", "compare",
             "ceilings", "faults", "trace", "prof", "bench", "fidelity",
             "resume", "fsck", "migrate", "top", "metrics", "report", "diff",
+            "runner",
         }
 
     def test_throughput_command_runs(self, capsys):
